@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: artifact directory + rendering helper.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts the
+paper-shape claims (who wins, by roughly what factor, where crossovers sit)
+and writes the rendered artifact to ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> None:
+        (artifact_dir / name).write_text(text + "\n")
+        print(f"\n{text}\n")
+    return _save

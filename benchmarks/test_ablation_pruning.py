@@ -1,0 +1,53 @@
+"""Ablation: Algorithm-1 AST pruning on vs off for the knowledge base
+(DESIGN.md ablation #2).
+
+Shape claims: pruning removes UB-irrelevant noise before embedding, so the
+pruned configuration should retrieve better and repair at least as well.
+Retrieval precision is asserted directly; end-to-end rates secondarily.
+"""
+
+from repro.bench.figures import ablation_pruning
+from repro.bench.reporting import render_table
+from repro.core.knowledge import KnowledgeBase, vectorize
+from repro.core.pruning import prune_program
+from repro.corpus.dataset import load_dataset
+from repro.lang import parse_program
+from repro.miri import detect_ub
+
+
+def _retrieval_hit_rate(use_pruning: bool) -> float:
+    kb = KnowledgeBase.default(use_pruning=use_pruning)
+    dataset = load_dataset()
+    hits = 0
+    for case in dataset:
+        program = parse_program(case.source)
+        report = detect_ub(case.source)
+        target = prune_program(program, report.errors) if use_pruning \
+            else program
+        hints = kb.hint_rules(vectorize(target), k=3)
+        hits += any(h in set(case.strategy_rules()) for h in hints)
+    return hits / len(dataset)
+
+
+def test_ablation_pruning(benchmark, save_artifact):
+    data = benchmark.pedantic(ablation_pruning, rounds=1, iterations=1)
+    pruned_hit = _retrieval_hit_rate(True)
+    raw_hit = _retrieval_hit_rate(False)
+
+    rows = [
+        ["pruned (Algorithm 1)", f"{100 * pruned_hit:.1f}",
+         f"{100 * data['pruned_kb'].pass_rate:.1f}",
+         f"{100 * data['pruned_kb'].exec_rate:.1f}"],
+        ["unpruned", f"{100 * raw_hit:.1f}",
+         f"{100 * data['unpruned_kb'].pass_rate:.1f}",
+         f"{100 * data['unpruned_kb'].exec_rate:.1f}"],
+    ]
+    table = render_table(
+        ["embedding", "KB top-3 hit %", "pass %", "exec %"],
+        rows, title="Ablation — AST pruning for KB retrieval")
+    save_artifact("ablation_pruning.txt", table)
+
+    # Retrieval precision: pruning must clearly win on noisy programs.
+    assert pruned_hit > raw_hit + 0.05, (pruned_hit, raw_hit)
+    # End-to-end: pruning should not hurt.
+    assert data["pruned_kb"].pass_rate >= data["unpruned_kb"].pass_rate - 0.05

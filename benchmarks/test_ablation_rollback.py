@@ -1,0 +1,34 @@
+"""Ablation: adaptive rollback vs rollback-to-initial vs no rollback
+(§III-B2's mechanism, DESIGN.md ablation #1).
+
+Shape claims: the adaptive policy keeps partial corrections, so it should
+(a) pass at least as often as rolling back to the initial state, and
+(b) clearly beat running with no rollback at all (hallucination propagation).
+"""
+
+from repro.bench.figures import ablation_rollback
+from repro.bench.reporting import render_table
+
+
+def test_ablation_rollback(benchmark, save_artifact):
+    data = benchmark.pedantic(ablation_rollback, rounds=1, iterations=1)
+
+    rows = [[name,
+             f"{100 * arm.pass_rate:.1f}",
+             f"{100 * arm.exec_rate:.1f}",
+             f"{arm.mean_seconds:.1f}s"]
+            for name, arm in data.items()]
+    table = render_table(["policy", "pass %", "exec %", "mean time"],
+                         rows, title="Ablation — rollback policies")
+    save_artifact("ablation_rollback.txt", table)
+
+    adaptive = data["adaptive"]
+    initial = data["rollback_to_initial"]
+    none = data["no_rollback"]
+
+    assert adaptive.pass_rate >= none.pass_rate
+    assert adaptive.pass_rate >= initial.pass_rate - 0.03
+    # The paper's overhead argument: rollback-to-initial discards partial
+    # progress, so it should not be cheaper AND better simultaneously.
+    assert not (initial.pass_rate > adaptive.pass_rate
+                and initial.mean_seconds < adaptive.mean_seconds)

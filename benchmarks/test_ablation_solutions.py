@@ -1,0 +1,33 @@
+"""Ablation: number of fast-thinking candidate solutions (RQ1's flexibility
+argument, DESIGN.md ablation #4).
+
+Shape claims: a single-solution pipeline (the fixed-process failure mode the
+paper criticises) passes less often than the multi-solution configurations;
+returns diminish beyond a handful of solutions while overhead keeps rising.
+"""
+
+from repro.bench.figures import ablation_solutions
+from repro.bench.reporting import render_table
+
+
+def test_ablation_solutions(benchmark, save_artifact):
+    data = benchmark.pedantic(ablation_solutions, rounds=1, iterations=1)
+
+    rows = [[name,
+             f"{100 * arm.pass_rate:.1f}",
+             f"{100 * arm.exec_rate:.1f}",
+             f"{arm.mean_seconds:.1f}s"]
+            for name, arm in data.items()]
+    table = render_table(["solutions", "pass %", "exec %", "mean time"],
+                         rows, title="Ablation — fast-thinking solution count")
+    save_artifact("ablation_solutions.txt", table)
+
+    one = data["n=1"]
+    six = data["n=6"]
+    ten = data["n=10"]
+
+    # Multiple solutions beat the single-option pipeline.
+    assert six.pass_rate > one.pass_rate
+
+    # Diminishing returns: n=10 gains little over n=6.
+    assert abs(ten.pass_rate - six.pass_rate) <= 0.08

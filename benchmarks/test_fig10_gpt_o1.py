@@ -1,0 +1,46 @@
+"""Fig. 10 (RQ2): GPT-O1+RustBrain vs GPT-4+RustBrain on the reduced subset.
+
+Reproduced shape claims:
+
+* despite O1's stronger raw reasoning, its repair effectiveness inside
+  RustBrain stays at or below GPT-4+RustBrain overall;
+* on uncommon error shapes — panic above all — O1 fails to tailor solutions
+  from code features: GPT-4+RustBrain leads the panic exec rate by a wide
+  margin (paper: +35.6%).
+"""
+
+from repro.bench.figures import FIG10_CATEGORIES, fig10_data
+from repro.bench.reporting import category_label, render_table
+from repro.miri.errors import UbKind
+
+
+def test_fig10_gpt_o1(benchmark, save_artifact):
+    data = benchmark.pedantic(fig10_data, rounds=1, iterations=1)
+
+    gpt4 = data["GPT-4+RustBrain"]
+    o1 = data["GPT-O1+RustBrain"]
+
+    headers = ["category", "GPT-4 pass", "O1 pass", "GPT-4 exec", "O1 exec"]
+    rows = []
+    for category in FIG10_CATEGORIES:
+        rows.append([
+            category_label(category),
+            f"{100 * gpt4.pass_by_category.get(category, 0):.0f}",
+            f"{100 * o1.pass_by_category.get(category, 0):.0f}",
+            f"{100 * gpt4.exec_by_category.get(category, 0):.0f}",
+            f"{100 * o1.exec_by_category.get(category, 0):.0f}",
+        ])
+    rows.append(["AVERAGE",
+                 f"{100 * gpt4.pass_rate:.1f}", f"{100 * o1.pass_rate:.1f}",
+                 f"{100 * gpt4.exec_rate:.1f}", f"{100 * o1.exec_rate:.1f}"])
+    table = render_table(headers, rows,
+                         title="Fig. 10 — GPT-O1 comparison (reduced subset)")
+    save_artifact("fig10_gpt_o1.txt", table)
+
+    # O1's repair effectiveness stays at or below GPT-4's inside RustBrain.
+    assert o1.exec_rate <= gpt4.exec_rate + 0.03
+
+    # The panic gap: GPT-4+RustBrain leads by a wide margin (paper: +35.6%).
+    gpt4_panic = gpt4.exec_by_category.get(UbKind.PANIC, 0.0)
+    o1_panic = o1.exec_by_category.get(UbKind.PANIC, 0.0)
+    assert gpt4_panic - o1_panic >= 0.20, (gpt4_panic, o1_panic)

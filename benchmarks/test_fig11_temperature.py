@@ -1,0 +1,48 @@
+"""Fig. 11 (RQ3): temperature sensitivity with 95% confidence intervals.
+
+Reproduced shape claims:
+
+* both pass and exec peak around T = 0.5 (paper: 97% / 77% at the peak);
+* very low temperatures under-explore (pass drops);
+* high temperatures erode semantic integrity (exec drops from the peak,
+  e.g. at 0.7 in the paper).
+"""
+
+from repro.bench.figures import FIG11_TEMPERATURES, fig11_data
+from repro.bench.reporting import render_table
+
+
+def test_fig11_temperature(benchmark, save_artifact):
+    points = benchmark.pedantic(fig11_data, rounds=1, iterations=1)
+
+    rows = []
+    for point in points:
+        rows.append([
+            f"{point.temperature:.1f}",
+            f"{100 * point.pass_ci.rate:.1f}",
+            f"[{100 * point.pass_ci.low:.1f}, {100 * point.pass_ci.high:.1f}]",
+            f"{100 * point.exec_ci.rate:.1f}",
+            f"[{100 * point.exec_ci.low:.1f}, {100 * point.exec_ci.high:.1f}]",
+        ])
+    table = render_table(
+        ["T", "pass %", "pass 95% CI", "exec %", "exec 95% CI"],
+        rows, title="Fig. 11 — temperature sweep (GPT-4+RustBrain)")
+    save_artifact("fig11_temperature.txt", table)
+
+    by_temp = {p.temperature: p for p in points}
+    mid = by_temp[0.5]
+
+    # Peak neighbourhood: T=0.5 beats the extremes on both metrics.
+    assert mid.pass_ci.rate >= by_temp[0.1].pass_ci.rate
+    assert mid.pass_ci.rate >= by_temp[0.9].pass_ci.rate
+    assert mid.exec_ci.rate >= by_temp[0.9].exec_ci.rate + 0.02
+
+    # The global maximum of each metric sits in the central region.
+    best_pass_temp = max(points, key=lambda p: p.pass_ci.rate).temperature
+    best_exec_temp = max(points, key=lambda p: p.exec_ci.rate).temperature
+    assert 0.2 <= best_pass_temp <= 0.8
+    assert 0.2 <= best_exec_temp <= 0.8
+
+    # CIs are genuine intervals.
+    for point in points:
+        assert point.pass_ci.low <= point.pass_ci.rate <= point.pass_ci.high

@@ -1,0 +1,61 @@
+"""Fig. 12 (RQ4): RustBrain vs RustAssistant (the fixed-pipeline SOTA).
+
+Reproduced shape claims:
+
+* RustBrain's pass rate exceeds RustAssistant's by roughly 30 points
+  (paper: +33) and its exec rate by roughly 40 points (paper: +41);
+* RustBrain wins or ties on (nearly) every category;
+* even the non-knowledge RustBrain variant beats RustAssistant.
+"""
+
+from repro.bench.figures import fig12_data
+from repro.bench.reporting import category_label, render_table
+from repro.miri.errors import PAPER_CATEGORIES
+
+
+def test_fig12_rustassistant(benchmark, save_artifact):
+    data = benchmark.pedantic(fig12_data, rounds=1, iterations=1)
+
+    brain = data["GPT-4+RustBrain"]
+    brain_nokb = data["GPT-4+RustBrain(non knowledge)"]
+    assistant = data["Rustassistant"]
+
+    headers = ["category", "RB pass", "RA pass", "RB exec", "RA exec",
+               "RB-noKB exec"]
+    rows = []
+    for category in PAPER_CATEGORIES:
+        rows.append([
+            category_label(category),
+            f"{100 * brain.pass_by_category.get(category, 0):.0f}",
+            f"{100 * assistant.pass_by_category.get(category, 0):.0f}",
+            f"{100 * brain.exec_by_category.get(category, 0):.0f}",
+            f"{100 * assistant.exec_by_category.get(category, 0):.0f}",
+            f"{100 * brain_nokb.exec_by_category.get(category, 0):.0f}",
+        ])
+    rows.append(["AVERAGE",
+                 f"{100 * brain.pass_rate:.1f}",
+                 f"{100 * assistant.pass_rate:.1f}",
+                 f"{100 * brain.exec_rate:.1f}",
+                 f"{100 * assistant.exec_rate:.1f}",
+                 f"{100 * brain_nokb.exec_rate:.1f}"])
+    table = render_table(headers, rows,
+                         title="Fig. 12 — RustBrain vs RustAssistant (%)")
+    save_artifact("fig12_rustassistant.txt", table)
+
+    # Pass gap ≈ +33 points, exec gap ≈ +41 points in the paper.
+    pass_gap = brain.pass_rate - assistant.pass_rate
+    exec_gap = brain.exec_rate - assistant.exec_rate
+    assert 0.20 <= pass_gap <= 0.55, pass_gap
+    assert 0.25 <= exec_gap <= 0.60, exec_gap
+
+    # Per-category dominance (allow a single tie-break category).
+    losses = sum(
+        1 for category in PAPER_CATEGORIES
+        if brain.pass_by_category.get(category, 0)
+        < assistant.pass_by_category.get(category, 0)
+    )
+    assert losses <= 2, f"RustBrain lost {losses} categories"
+
+    # Even without the knowledge base, RustBrain beats the fixed pipeline.
+    assert brain_nokb.pass_rate > assistant.pass_rate
+    assert brain_nokb.exec_rate > assistant.exec_rate

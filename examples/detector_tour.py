@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Detector tour: one program per UB category through the Miri-equivalent.
+
+Shows the detector's diagnostics across the paper's taxonomy — stacked
+borrows, provenance, data races with vector clocks, validity, alignment —
+each on a minimal program, exactly the way `cargo miri run` would flag them.
+
+Run:  python examples/detector_tour.py
+"""
+
+from repro.miri import detect_ub
+
+TOUR = {
+    "dangling pointer (use-after-free)": '''
+fn main() {
+    let b = Box::new(7);
+    let p = Box::into_raw(b);
+    unsafe { drop(Box::from_raw(p)); }
+    let v = unsafe { *p };
+}''',
+    "stacked borrows (raw invalidated by reborrow)": '''
+fn main() {
+    let mut x = 5;
+    let p = &mut x as *mut i32;
+    let r = &mut x;
+    *r += 1;
+    let v = unsafe { *p };
+}''',
+    "provenance (integer-laundered pointer)": '''
+fn main() {
+    let data = 11;
+    let addr = &data as *const i32 as usize;
+    let p = addr as *const i32;
+    let v = unsafe { *p };
+}''',
+    "data race (unsynchronized static mut)": '''
+static mut COUNTER: usize = 0;
+fn main() {
+    let h = std::thread::spawn(move || {
+        unsafe { COUNTER += 1; }
+    });
+    unsafe { COUNTER += 1; }
+    h.join();
+}''',
+    "validity (bool from out-of-range byte)": '''
+use std::mem;
+fn main() {
+    let raw: u8 = 2;
+    let flag = unsafe { mem::transmute::<u8, bool>(raw) };
+}''',
+    "unaligned access": '''
+fn main() {
+    let words = [0u64, 1];
+    let bytes = words.as_ptr() as *const u8;
+    let p = unsafe { bytes.add(1) } as *const u32;
+    let v = unsafe { *p };
+}''',
+    "uninitialised read": '''
+fn main() {
+    let mu: MaybeUninit<i32> = MaybeUninit::uninit();
+    let v = unsafe { mu.assume_init() };
+}''',
+    "allocator misuse (double free)": '''
+fn main() {
+    let v = vec![1, 2];
+    drop(v);
+    drop(v);
+}''',
+    "a clean program, for contrast": '''
+fn main() {
+    let mut v: Vec<i32> = Vec::new();
+    for i in 0..5 {
+        v.push(i as i32 * 10);
+    }
+    let mut total = 0;
+    for i in 0..v.len() {
+        total += v[i];
+    }
+    println!("total = {}", total);
+}''',
+}
+
+
+def main() -> None:
+    for title, source in TOUR.items():
+        print(f"### {title}")
+        report = detect_ub(source)
+        print(report.render())
+        if report.stdout:
+            print("stdout:", report.stdout)
+        print()
+
+
+if __name__ == "__main__":
+    main()

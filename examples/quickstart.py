@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a use-after-free and let RustBrain repair it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RustBrain, RustBrainConfig, semantically_acceptable
+from repro.miri import detect_ub
+
+BUGGY = """\
+fn main() {
+    let config = Box::new(1024);
+    let raw = Box::into_raw(config);
+    unsafe { drop(Box::from_raw(raw)); }
+    let buffer_size = unsafe { *raw };
+    println!("buffer size: {}", buffer_size);
+}
+"""
+
+# How the developer actually fixed it upstream (defines "acceptable
+# semantics" — the exec metric compares observable behaviour against this).
+DEVELOPER_FIX = """\
+fn main() {
+    let config = Box::new(1024);
+    let raw = Box::into_raw(config);
+    let buffer_size = unsafe { *raw };
+    unsafe { drop(Box::from_raw(raw)); }
+    println!("buffer size: {}", buffer_size);
+}
+"""
+
+
+def main() -> None:
+    # Step 1 — detection (stage F1): the Miri-equivalent interpreter.
+    report = detect_ub(BUGGY)
+    print("=== Miri verdict on the buggy program ===")
+    print(report.render())
+    print()
+
+    # Step 2 — repair: fast thinking generates candidate solutions, slow
+    # thinking decomposes/executes/verifies them with the fix agents.
+    brain = RustBrain(RustBrainConfig(model="gpt-4", seed=7))
+    outcome = brain.repair(BUGGY)
+
+    print("=== RustBrain outcome ===")
+    print(f"passed Miri     : {outcome.passed}")
+    print(f"solutions tried : {outcome.solutions_tried}")
+    print(f"steps executed  : {outcome.steps_executed}")
+    print(f"hallucinations  : {outcome.hallucinations}")
+    print(f"rollbacks       : {outcome.rollbacks}")
+    print(f"simulated time  : {outcome.seconds:.1f}s "
+          f"({outcome.llm_calls} model calls, {outcome.tokens} tokens)")
+    print()
+
+    if outcome.passed:
+        print("=== repaired program ===")
+        print(outcome.repaired_source)
+        acceptable = semantically_acceptable(outcome.repaired_source,
+                                             DEVELOPER_FIX)
+        print(f"semantics match the developer fix: {acceptable}")
+        verdict = detect_ub(outcome.repaired_source)
+        print(f"repaired stdout: {verdict.stdout}")
+    else:
+        print(f"repair failed: {outcome.failure_reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Repair campaign: sweep RustBrain over a slice of the Miri-style corpus.
+
+Reproduces, in miniature, the paper's RQ2 experiment: repair every case in
+two categories with two configurations (with / without the knowledge base)
+and report per-category pass/exec rates plus overhead — the self-learning
+feedback memory visibly kicks in on the later, similar cases.
+
+Run:  python examples/repair_campaign.py
+"""
+
+from repro.bench.reporting import render_table
+from repro.core import RustBrain, RustBrainConfig, semantically_acceptable
+from repro.corpus.dataset import load_dataset
+from repro.miri.errors import UbKind
+
+CATEGORIES = [UbKind.UNINIT, UbKind.DANGLING_POINTER]
+
+
+def run_campaign(use_kb: bool) -> list[list[str]]:
+    dataset = load_dataset().subset(CATEGORIES)
+    brain = RustBrain(RustBrainConfig(model="gpt-4", seed=13,
+                                      use_knowledge_base=use_kb))
+    rows = []
+    for case in dataset:
+        outcome = brain.repair(case.source, case.difficulty)
+        acceptable = bool(
+            outcome.passed and outcome.repaired_source
+            and semantically_acceptable(outcome.repaired_source,
+                                        case.fixed_source))
+        rows.append([
+            case.name,
+            case.category.value,
+            "pass" if outcome.passed else "FAIL",
+            "exec" if acceptable else "-",
+            f"{outcome.seconds:.0f}s",
+            "feedback" if outcome.used_feedback else
+            ("kb" if outcome.used_knowledge_base else "-"),
+        ])
+    return rows
+
+
+def main() -> None:
+    for use_kb in (False, True):
+        label = "with knowledge base" if use_kb else "without knowledge base"
+        rows = run_campaign(use_kb)
+        print(render_table(
+            ["case", "category", "miri", "semantics", "time", "assist"],
+            rows, title=f"Repair campaign ({label})"))
+        passed = sum(row[2] == "pass" for row in rows)
+        execs = sum(row[3] == "exec" for row in rows)
+        print(f"=> pass {passed}/{len(rows)}, exec {execs}/{len(rows)}\n")
+
+
+if __name__ == "__main__":
+    main()

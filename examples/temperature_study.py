@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Temperature study: a compact version of the paper's RQ3 (Fig. 11).
+
+Sweeps sampling temperature for GPT-4+RustBrain over a corpus slice and
+prints pass/exec rates with 95% Wilson intervals — the inverted-U shape
+peaking near T = 0.5 is the reproduced result.
+
+Run:  python examples/temperature_study.py
+"""
+
+from repro.bench.experiments import evaluate_arm
+from repro.bench.reporting import render_bars
+from repro.bench.stats import wilson_interval
+from repro.corpus.dataset import Dataset, load_dataset
+
+TEMPERATURES = (0.1, 0.3, 0.5, 0.7, 0.9)
+SEEDS = (3, 11)
+
+
+def main() -> None:
+    dataset = Dataset(tuple(list(load_dataset())[::2]))  # every other case
+    pass_series = {}
+    exec_series = {}
+    for temperature in TEMPERATURES:
+        passes = execs = total = 0
+        for seed in SEEDS:
+            run = evaluate_arm("rustbrain", model="gpt-4", seed=seed,
+                               temperature=temperature, dataset=dataset)
+            passes += sum(r.passed for r in run.results)
+            execs += sum(r.acceptable for r in run.results)
+            total += len(run.results)
+        pass_ci = wilson_interval(passes, total)
+        exec_ci = wilson_interval(execs, total)
+        label = f"T={temperature:.1f}"
+        pass_series[label] = pass_ci.rate
+        exec_series[label] = exec_ci.rate
+        print(f"{label}: pass {pass_ci}   exec {exec_ci}")
+
+    print()
+    print(render_bars(pass_series, title="pass rate by temperature"))
+    print()
+    print(render_bars(exec_series, title="exec rate by temperature"))
+
+
+if __name__ == "__main__":
+    main()

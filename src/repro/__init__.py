@@ -1,0 +1,31 @@
+"""RustBrain reproduction (DAC 2025).
+
+An LLM-orchestration framework that repairs Undefined Behaviors in unsafe
+Rust through "fast thinking" (feature extraction + multi-solution generation)
+and "slow thinking" (decomposition, multi-agent verification with adaptive
+rollback and abstract reasoning over a pruned-AST knowledge base), coupled by
+a feedback mechanism.
+
+Top-level convenience imports::
+
+    from repro import RustBrain, detect_ub, load_dataset
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid cycles.
+    if name == "RustBrain":
+        from .core.pipeline import RustBrain
+        return RustBrain
+    if name == "detect_ub":
+        from .miri import detect_ub
+        return detect_ub
+    if name == "load_dataset":
+        from .corpus.dataset import load_dataset
+        return load_dataset
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["RustBrain", "detect_ub", "load_dataset", "__version__"]

@@ -1,0 +1,7 @@
+"""Comparison systems: standalone LLM, RustAssistant, human expert."""
+
+from .human import HUMAN_TIMES, HumanExpert
+from .llm_only import LLMOnlyRepair
+from .rustassistant import RustAssistant
+
+__all__ = ["HUMAN_TIMES", "HumanExpert", "LLMOnlyRepair", "RustAssistant"]

@@ -1,0 +1,98 @@
+"""Standalone-LLM repair baseline ("GPT-4 alone" in Fig. 8/9).
+
+A single prompt with the code and the Miri error; the model proposes one
+fix, which is applied and checked once (plus one retry — the typical
+ask-the-chatbot workflow). No decomposition, no rollback, no knowledge base,
+no feedback: whatever the model's first instincts produce is the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.rewrites import apply_rule
+from ..core.pipeline import RepairOutcome
+from ..lang.parser import parse_program
+from ..lang.printer import print_program
+from ..llm.client import ContextOverflow, LLMClient, VirtualClock
+from ..llm.oracle import corrupt_step, extract_features, rank_candidate_rules
+from ..miri import detect_ub
+
+
+@dataclass
+class LLMOnlyConfig:
+    model: str = "gpt-4"
+    temperature: float = 0.5
+    seed: int = 0
+    attempts: int = 3
+    detector_seconds: float = 0.8
+
+
+class LLMOnlyRepair:
+    def __init__(self, config: LLMOnlyConfig | None = None):
+        self.config = config or LLMOnlyConfig()
+        self._repair_index = 0
+
+    def repair(self, source: str, difficulty: int = 2) -> RepairOutcome:
+        config = self.config
+        clock = VirtualClock()
+        client = LLMClient(config.model, config.temperature,
+                           seed=config.seed * 6037 + self._repair_index,
+                           clock=clock)
+        self._repair_index += 1
+
+        clock.advance(config.detector_seconds)
+        report = detect_ub(source, collect=True)
+        if report.passed:
+            return self._outcome(client, True, source, 0, 0)
+        try:
+            program = parse_program(source)
+        except Exception:
+            return self._outcome(client, False, None, 0, 0,
+                                 reason="unparseable input")
+
+        steps = 0
+        hallucinations = 0
+        for attempt in range(config.attempts):
+            try:
+                features = extract_features(client, program, report)
+            except ContextOverflow:
+                return self._outcome(client, False, None, steps,
+                                     hallucinations,
+                                     reason="exceeds context limit")
+            plans = rank_candidate_rules(client, features, program, 1,
+                                         difficulty=difficulty)
+            if not plans or not plans[0]:
+                continue
+            execution = corrupt_step(client, plans[0][0])
+            steps += 1
+            if execution.hallucinated:
+                hallucinations += 1
+            candidate = apply_rule(program, execution.rule)
+            if candidate is None:
+                continue
+            if execution.retouched:
+                retouched = apply_rule(candidate, "retouch_output_constant")
+                if retouched is not None:
+                    candidate = retouched
+            clock.advance(config.detector_seconds)
+            repaired_source = print_program(candidate)
+            verdict = detect_ub(repaired_source)
+            if verdict.passed:
+                return self._outcome(client, True, repaired_source, steps,
+                                     hallucinations)
+        return self._outcome(client, False, None, steps, hallucinations,
+                             reason="attempts exhausted")
+
+    def _outcome(self, client, passed, repaired, steps, hallucinations,
+                 reason=None) -> RepairOutcome:
+        return RepairOutcome(
+            passed=passed, repaired_source=repaired,
+            seconds=client.clock.elapsed,
+            tokens=client.stats.total_tokens,
+            llm_calls=client.stats.call_count,
+            solutions_tried=steps, steps_executed=steps,
+            hallucinations=hallucinations, rollbacks=0,
+            used_knowledge_base=False, used_feedback=False,
+            failure_reason=reason,
+        )

@@ -1,0 +1,314 @@
+"""Data generators for every table and figure in the paper's evaluation.
+
+Each ``figN_*`` function regenerates the corresponding artifact's rows/series
+(the benchmark files under ``benchmarks/`` wrap these with pytest-benchmark
+and assert the paper-shape claims; ``EXPERIMENTS.md`` records the outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..baselines.human import HUMAN_TIMES, HumanExpert
+from ..corpus.dataset import Dataset, load_dataset
+from ..core.pipeline import RustBrain, RustBrainConfig
+from ..core.evaluate import semantically_acceptable
+from ..core.solution import decompose
+from ..miri.errors import PAPER_CATEGORIES, UbKind
+from .experiments import SystemResults, evaluate_arm
+from .stats import RateCI, mean, wilson_interval
+
+#: Seeds averaged in the headline numbers (repeat-sampling per §IV RQ3).
+DEFAULT_SEEDS = (3, 11, 23)
+
+#: Fig. 10's cost-reduced error-type subset.
+FIG10_CATEGORIES = [
+    UbKind.ALLOC, UbKind.TAIL_CALL, UbKind.DANGLING_POINTER,
+    UbKind.FUNC_POINTER, UbKind.PANIC, UbKind.UNALIGNED, UbKind.FUNC_CALL,
+]
+
+
+@dataclass
+class ArmSummary:
+    label: str
+    pass_rate: float
+    exec_rate: float
+    mean_seconds: float
+    pass_by_category: dict[UbKind, float]
+    exec_by_category: dict[UbKind, float]
+    seconds_by_category: dict[UbKind, float]
+    results: list[SystemResults] = field(default_factory=list)
+
+
+def _summarize(label: str, runs: list[SystemResults]) -> ArmSummary:
+    pass_by: dict[UbKind, list[float]] = {}
+    exec_by: dict[UbKind, list[float]] = {}
+    secs_by: dict[UbKind, list[float]] = {}
+    for run in runs:
+        for cat, rate in run.category_pass_rates().items():
+            pass_by.setdefault(cat, []).append(rate)
+        for cat, rate in run.category_exec_rates().items():
+            exec_by.setdefault(cat, []).append(rate)
+        for cat, secs in run.category_mean_seconds().items():
+            secs_by.setdefault(cat, []).append(secs)
+    return ArmSummary(
+        label=label,
+        pass_rate=mean([run.pass_rate() for run in runs]),
+        exec_rate=mean([run.exec_rate() for run in runs]),
+        mean_seconds=mean([run.mean_seconds() for run in runs]),
+        pass_by_category={c: mean(v) for c, v in pass_by.items()},
+        exec_by_category={c: mean(v) for c, v in exec_by.items()},
+        seconds_by_category={c: mean(v) for c, v in secs_by.items()},
+        results=runs,
+    )
+
+
+def run_arm(kind: str, model: str, seeds=DEFAULT_SEEDS,
+            dataset: Dataset | None = None, temperature: float = 0.5,
+            **overrides) -> ArmSummary:
+    runs = [evaluate_arm(kind, model=model, seed=seed, dataset=dataset,
+                         temperature=temperature, **overrides)
+            for seed in seeds]
+    label = f"{model}+{kind}" if kind != "llm_only" else model
+    return _summarize(label, runs)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — RQ1 flexibility: ten fast-thinking solutions for one case
+
+
+@dataclass
+class Fig7Group:
+    group: int
+    agents: list[str]
+    rules: list[str]
+    passed: bool
+    acceptable: bool
+    seconds: float
+    used_knowledge_base: bool
+
+
+def fig7_flexibility(seed: int = 3, case_name: str = "stackborrow_reborrow_1",
+                     n_solutions: int = 10) -> list[Fig7Group]:
+    """Generate 10 solutions for one semantic-modification UB and execute
+    each independently, reporting agent order / verdicts / overhead."""
+    from ..lang.parser import parse_program
+    from ..lang.printer import print_program
+    from ..llm.client import LLMClient, VirtualClock
+    from ..llm.oracle import rank_candidate_rules
+    from ..core.features import analyse
+    from ..core.slow import SlowThinking
+    from ..core.knowledge import KnowledgeBase
+    from ..core.agents.reasoning import AbstractReasoningAgent
+    from ..miri import detect_ub
+
+    case = load_dataset().get(case_name)
+    program = parse_program(case.source)
+    report = detect_ub(case.source, collect=True)
+    groups: list[Fig7Group] = []
+    kb = KnowledgeBase.default()
+
+    for index in range(n_solutions):
+        clock = VirtualClock()
+        client = LLMClient("gpt-4", 0.5, seed=seed * 1009 + index, clock=clock)
+        features = analyse(client, program, report)
+        use_kb = index % 2 == 1  # alternate KB usage across groups
+        kb_hint = None
+        if use_kb:
+            reasoning = AbstractReasoningAgent(client, kb)
+            kb_hint = reasoning.consult(program, report.errors).rules or None
+        plans = rank_candidate_rules(client, features.extracted, program, 1,
+                                     kb_hint=kb_hint,
+                                     difficulty=case.difficulty,
+                                     orchestrated=True)
+        solutions = decompose(plans, guided_rules=set(kb_hint or []))
+        slow = SlowThinking(client)
+        outcome = slow.execute(solutions[0], program, report.error_count)
+        acceptable = False
+        if outcome.solved:
+            acceptable = semantically_acceptable(
+                print_program(outcome.final_program), case.fixed_source)
+        groups.append(Fig7Group(
+            group=index + 1,
+            agents=[step.agent for step in solutions[0].steps],
+            rules=solutions[0].rules(),
+            passed=outcome.solved,
+            acceptable=acceptable,
+            seconds=clock.elapsed,
+            used_knowledge_base=use_kb,
+        ))
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 / Fig. 9 — RQ2: pass and exec rates per category, seven arms
+
+FIG8_ARMS = [
+    ("gpt-3.5", "llm_only"),
+    ("claude-3.5", "llm_only"),
+    ("gpt-4", "llm_only"),
+    ("gpt-3.5", "rustbrain"),
+    ("claude-3.5", "rustbrain"),
+    ("gpt-4", "rustbrain_nokb"),
+    ("gpt-4", "rustbrain"),
+]
+
+
+@lru_cache(maxsize=1)
+def fig8_fig9_data(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    return {
+        (f"{model}+RustBrain(non knowledge)" if kind == "rustbrain_nokb"
+         else f"{model}+RustBrain" if kind == "rustbrain" else model):
+        run_arm(kind, model, seeds)
+        for model, kind in FIG8_ARMS
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — RQ2: GPT-O1 comparison on the reduced category subset
+
+
+@lru_cache(maxsize=1)
+def fig10_data(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    subset = load_dataset().subset(FIG10_CATEGORIES)
+    return {
+        "GPT-4+RustBrain": run_arm("rustbrain", "gpt-4", seeds, subset),
+        "GPT-O1+RustBrain": run_arm("rustbrain", "gpt-o1", seeds, subset),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — RQ3: temperature sweep with confidence intervals
+
+FIG11_TEMPERATURES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass
+class TemperaturePoint:
+    temperature: float
+    pass_ci: RateCI
+    exec_ci: RateCI
+
+
+@lru_cache(maxsize=1)
+def fig11_data(seeds=(3, 11, 23, 31)) -> list[TemperaturePoint]:
+    dataset = load_dataset()
+    points = []
+    for temperature in FIG11_TEMPERATURES:
+        passes = execs = total = 0
+        for seed in seeds:
+            run = evaluate_arm("rustbrain", model="gpt-4", seed=seed,
+                               temperature=temperature, dataset=dataset)
+            passes += sum(r.passed for r in run.results)
+            execs += sum(r.acceptable for r in run.results)
+            total += len(run.results)
+        points.append(TemperaturePoint(
+            temperature,
+            wilson_interval(passes, total),
+            wilson_interval(execs, total),
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — RQ4: RustBrain vs RustAssistant per category
+
+
+@lru_cache(maxsize=1)
+def fig12_data(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    return {
+        "GPT-4+RustBrain": run_arm("rustbrain", "gpt-4", seeds),
+        "GPT-4+RustBrain(non knowledge)": run_arm("rustbrain_nokb", "gpt-4",
+                                                  seeds),
+        "Rustassistant": run_arm("rustassistant", "gpt-4", seeds),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table I — RQ4: execution time vs human experts
+
+
+@dataclass
+class Table1Row:
+    category: UbKind
+    no_knowledge_seconds: float
+    knowledge_seconds: float
+    human_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.no_knowledge_seconds <= 0:
+            return 0.0
+        return self.human_seconds / self.no_knowledge_seconds
+
+
+@lru_cache(maxsize=1)
+def table1_data(seeds=DEFAULT_SEEDS) -> list[Table1Row]:
+    no_kb = run_arm("rustbrain_nokb", "gpt-4", seeds)
+    with_kb = run_arm("rustbrain", "gpt-4", seeds)
+    human = HumanExpert(seed=1)
+    dataset = load_dataset()
+    rows = []
+    for category in PAPER_CATEGORIES:
+        cases = dataset.by_category(category)
+        human_secs = mean([
+            human.repair(case.name, category, case.difficulty).seconds
+            for case in cases
+        ])
+        rows.append(Table1Row(
+            category=category,
+            no_knowledge_seconds=no_kb.seconds_by_category.get(category, 0.0),
+            knowledge_seconds=with_kb.seconds_by_category.get(category, 0.0),
+            human_seconds=human_secs,
+        ))
+    return rows
+
+
+def table1_average(rows: list[Table1Row]) -> Table1Row:
+    return Table1Row(
+        category=UbKind.ALLOC,  # placeholder; label "Average" when rendering
+        no_knowledge_seconds=mean([r.no_knowledge_seconds for r in rows]),
+        knowledge_seconds=mean([r.knowledge_seconds for r in rows]),
+        human_seconds=mean([r.human_seconds for r in rows]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+
+
+@lru_cache(maxsize=1)
+def ablation_rollback(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    return {
+        "adaptive": run_arm("rustbrain", "gpt-4", seeds),
+        "rollback_to_initial": run_arm("rustbrain_initial_rollback", "gpt-4",
+                                       seeds),
+        "no_rollback": run_arm("rustbrain_norollback", "gpt-4", seeds),
+    }
+
+
+@lru_cache(maxsize=1)
+def ablation_pruning(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    return {
+        "pruned_kb": run_arm("rustbrain", "gpt-4", seeds),
+        "unpruned_kb": run_arm("rustbrain_nopruning", "gpt-4", seeds),
+    }
+
+
+@lru_cache(maxsize=1)
+def ablation_feedback(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    return {
+        "with_feedback": run_arm("rustbrain", "gpt-4", seeds),
+        "no_feedback": run_arm("rustbrain_nofeedback", "gpt-4", seeds),
+    }
+
+
+@lru_cache(maxsize=1)
+def ablation_solutions(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    return {
+        "n=1": run_arm("rustbrain", "gpt-4", seeds, n_solutions=1),
+        "n=3": run_arm("rustbrain", "gpt-4", seeds, n_solutions=3),
+        "n=6": run_arm("rustbrain", "gpt-4", seeds, n_solutions=6),
+        "n=10": run_arm("rustbrain", "gpt-4", seeds, n_solutions=10),
+    }

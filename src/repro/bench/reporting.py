@@ -1,0 +1,45 @@
+"""ASCII rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from ..miri.errors import UbKind
+
+
+def render_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(series: dict[str, float], width: int = 40,
+                title: str = "", unit: str = "%") -> str:
+    lines = [title] if title else []
+    peak = max(series.values()) if series else 1.0
+    label_width = max((len(k) for k in series), default=0)
+    for label, value in series.items():
+        bar = "#" * max(1, round(width * value / peak)) if peak else ""
+        shown = f"{100 * value:.1f}{unit}" if unit == "%" else f"{value:.1f}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def category_label(category: UbKind) -> str:
+    return {
+        UbKind.DANGLING_POINTER: "danglingpointer",
+        UbKind.FUNC_CALL: "func.call",
+        UbKind.FUNC_POINTER: "func.pointer",
+        UbKind.STACK_BORROW: "stackborrow",
+        UbKind.BOTH_BORROW: "bothborrow",
+        UbKind.DATA_RACE: "datarace",
+    }.get(category, category.value)

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro detect  FILE.rs            # run the UB detector (Miri analogue)
+    repro repair  FILE.rs            # repair with RustBrain, print the diff
+    repro dataset [--category C]     # list the corpus
+    repro bench   NAME               # regenerate one paper artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .miri import detect_ub
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    report = detect_ub(source, collect=args.collect)
+    print(report.render())
+    if report.stdout:
+        print("\n--- program stdout ---")
+        for line in report.stdout:
+            print(line)
+    return 0 if report.passed else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from .core import RustBrain, RustBrainConfig
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    config = RustBrainConfig(model=args.model, temperature=args.temperature,
+                             seed=args.seed,
+                             use_knowledge_base=not args.no_kb)
+    brain = RustBrain(config)
+    outcome = brain.repair(source)
+    if outcome.passed and outcome.repaired_source:
+        print("== repair PASSED Miri ==")
+        print(f"-- {outcome.solutions_tried} solutions, "
+              f"{outcome.steps_executed} steps, "
+              f"{outcome.seconds:.1f}s simulated, "
+              f"{outcome.llm_calls} model calls --")
+        print(outcome.repaired_source)
+        return 0
+    print(f"== repair FAILED: {outcome.failure_reason} ==")
+    return 1
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .corpus.dataset import load_dataset
+    from .miri.errors import UbKind
+    dataset = load_dataset()
+    if args.category:
+        dataset = dataset.subset([UbKind(args.category)])
+    for case in dataset:
+        print(f"{case.name:36s} {case.category.value:18s} "
+              f"difficulty={case.difficulty}  {case.description}")
+    print(f"\n{len(dataset)} cases, {len(dataset.categories())} categories")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import figures
+    from .bench.reporting import category_label, render_table
+    name = args.name
+    if name == "table1":
+        rows = figures.table1_data()
+        avg = figures.table1_average(rows)
+        rendered = [[category_label(r.category),
+                     f"{r.no_knowledge_seconds:.0f}",
+                     f"{r.knowledge_seconds:.0f}",
+                     f"{r.human_seconds:.0f}", f"{r.speedup:.1f}x"]
+                    for r in rows]
+        rendered.append(["Average", f"{avg.no_knowledge_seconds:.1f}",
+                         f"{avg.knowledge_seconds:.1f}",
+                         f"{avg.human_seconds:.0f}", f"{avg.speedup:.1f}x"])
+        print(render_table(["type", "no-KB s", "KB s", "human s", "speedup"],
+                           rendered, title="Table I"))
+        return 0
+    if name in ("fig8", "fig9"):
+        data = figures.fig8_fig9_data()
+        metric = "pass" if name == "fig8" else "exec"
+        headers = ["arm", f"{metric} %"]
+        rows = [[label,
+                 f"{100 * (arm.pass_rate if name == 'fig8' else arm.exec_rate):.1f}"]
+                for label, arm in data.items()]
+        print(render_table(headers, rows, title=f"Fig. {name[-1]} averages"))
+        return 0
+    if name == "fig11":
+        for point in figures.fig11_data():
+            print(f"T={point.temperature:.1f}  pass={point.pass_ci}  "
+                  f"exec={point.exec_ci}")
+        return 0
+    print(f"unknown bench {name!r}; try: table1 fig8 fig9 fig11",
+          file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RustBrain reproduction: UB detection and LLM repair")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_detect = sub.add_parser("detect", help="run the UB detector")
+    p_detect.add_argument("file")
+    p_detect.add_argument("--collect", action="store_true",
+                          help="keep going after the first UB")
+    p_detect.set_defaults(fn=_cmd_detect)
+
+    p_repair = sub.add_parser("repair", help="repair UBs with RustBrain")
+    p_repair.add_argument("file")
+    p_repair.add_argument("--model", default="gpt-4")
+    p_repair.add_argument("--temperature", type=float, default=0.5)
+    p_repair.add_argument("--seed", type=int, default=0)
+    p_repair.add_argument("--no-kb", action="store_true")
+    p_repair.set_defaults(fn=_cmd_repair)
+
+    p_dataset = sub.add_parser("dataset", help="list the UB corpus")
+    p_dataset.add_argument("--category", default=None)
+    p_dataset.set_defaults(fn=_cmd_dataset)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper artifact")
+    p_bench.add_argument("name")
+    p_bench.set_defaults(fn=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""RustBrain core: the paper's primary contribution.
+
+Public surface::
+
+    from repro.core import RustBrain, RustBrainConfig
+    brain = RustBrain(RustBrainConfig(model="gpt-4"))
+    outcome = brain.repair(rust_source)
+"""
+
+from .evaluate import Triplet, evaluate_repair, semantically_acceptable
+from .feedback import FeedbackMemory
+from .knowledge import KnowledgeBase, vectorize
+from .pipeline import RepairOutcome, RustBrain, RustBrainConfig
+from .pruning import prune_program, pruning_ratio
+from .rewrites import FixKind, REGISTRY, apply_rule
+
+__all__ = [
+    "FeedbackMemory",
+    "FixKind",
+    "KnowledgeBase",
+    "REGISTRY",
+    "RepairOutcome",
+    "RustBrain",
+    "RustBrainConfig",
+    "Triplet",
+    "apply_rule",
+    "evaluate_repair",
+    "prune_program",
+    "pruning_ratio",
+    "semantically_acceptable",
+    "vectorize",
+]

@@ -1,0 +1,18 @@
+"""RustBrain's slow-thinking agents.
+
+Three error-fixing agents (safe-replacement, assertion, code-modification),
+the adaptive rollback / optimal-code-selection agent (§III-B2), and the
+abstract reasoning agent over the pruned-AST knowledge base (§III-B3).
+"""
+
+from .base import AgentResult, FixAgent
+from .reasoning import AbstractReasoningAgent
+from .rollback import RollbackAgent, RollbackPolicy
+
+__all__ = [
+    "AbstractReasoningAgent",
+    "AgentResult",
+    "FixAgent",
+    "RollbackAgent",
+    "RollbackPolicy",
+]

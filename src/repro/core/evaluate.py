@@ -1,0 +1,59 @@
+"""The (accuracy, acceptability, overhead) evaluation triplet (§III-C).
+
+*Accuracy* — the repaired program passes the detector.
+*Acceptability* — observable behaviour matches the developer-repaired
+reference (the paper validates semantics against test benchmarks composed of
+developer-repaired code; we compare the full observable trace: stdout).
+*Overhead* — virtual seconds and tokens consumed producing the repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..miri import detect_ub
+from ..miri.errors import MiriReport
+
+
+@dataclass(frozen=True)
+class Triplet:
+    accuracy: bool
+    acceptability: bool | None   # None when accuracy is False
+    seconds: float
+    tokens: int
+
+    def as_dict(self) -> dict:
+        return {
+            "accuracy": self.accuracy,
+            "acceptability": self.acceptability,
+            "seconds": round(self.seconds, 2),
+            "tokens": self.tokens,
+        }
+
+
+def observable_trace(source: str) -> tuple[bool, list[str]]:
+    """(passed, stdout) of a program under the detector."""
+    report = detect_ub(source)
+    return report.passed, list(report.stdout)
+
+
+def semantically_acceptable(repaired_source: str,
+                            reference_source: str) -> bool:
+    """Exec-metric check: repaired output must match the developer fix."""
+    ok_repaired, out_repaired = observable_trace(repaired_source)
+    ok_reference, out_reference = observable_trace(reference_source)
+    if not (ok_repaired and ok_reference):
+        return False
+    return out_repaired == out_reference
+
+
+def evaluate_repair(repaired_source: str | None, reference_source: str,
+                    seconds: float, tokens: int) -> Triplet:
+    """Assemble the full triplet for a finished repair attempt."""
+    if repaired_source is None:
+        return Triplet(False, None, seconds, tokens)
+    report = detect_ub(repaired_source)
+    if not report.passed:
+        return Triplet(False, None, seconds, tokens)
+    acceptable = semantically_acceptable(repaired_source, reference_source)
+    return Triplet(True, acceptable, seconds, tokens)

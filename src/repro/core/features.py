@@ -1,0 +1,39 @@
+"""Fast-thinking feature extraction (stage F2).
+
+Combines the simulated LLM's (noisy) classification with the deterministic
+AST embedding used by the knowledge base and the feedback memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..lang import ast_nodes as ast
+from ..llm.client import LLMClient
+from ..llm.oracle import ExtractedFeatures, extract_features
+from ..miri.errors import MiriReport
+from .knowledge import vectorize
+from .pruning import prune_program
+
+
+@dataclass(frozen=True)
+class CaseFeatures:
+    """Everything fast thinking knows about the failing program."""
+
+    extracted: ExtractedFeatures
+    vector: np.ndarray          # embedding of the pruned AST
+    raw_vector: np.ndarray      # embedding of the full AST (pruning ablation)
+
+
+def analyse(client: LLMClient, program: ast.Program,
+            report: MiriReport, use_pruning: bool = True) -> CaseFeatures:
+    """Run feature extraction: one LLM call plus deterministic embeddings."""
+    extracted = extract_features(client, program, report)
+    pruned = prune_program(program, report.errors) if use_pruning else program
+    return CaseFeatures(
+        extracted=extracted,
+        vector=vectorize(pruned),
+        raw_vector=vectorize(program),
+    )

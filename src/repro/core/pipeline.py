@@ -1,0 +1,218 @@
+"""RustBrain: the full fast/slow-thinking repair pipeline.
+
+Stage map (Fig. 2):
+
+* **F1** — run the detector ("Miri"); pass-through if no UB.
+* **F2** — feature extraction + multi-solution generation (fast thinking),
+  boosted by the feedback memory's recalled plans (§III-C).
+* **S1** — decompose each solution into agent-tagged steps.
+* **S2** — execute with the three fix agents, verify per step, adaptive
+  rollback; if everything stalls, the abstract reasoning agent consults the
+  knowledge base and a refinement round runs with the retrieved hints.
+* **S3** — verified plans are generalised into the feedback memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.parser import parse_program
+from ..lang.printer import print_program
+from ..llm.client import ContextOverflow, LLMClient, VirtualClock
+from ..llm.oracle import rank_candidate_rules
+from ..miri import detect_ub
+from .agents.reasoning import AbstractReasoningAgent
+from .agents.rollback import RollbackPolicy
+from .features import CaseFeatures, analyse
+from .feedback import FeedbackMemory
+from .knowledge import KnowledgeBase
+from .slow import SlowThinking, SolutionOutcome
+from .solution import Solution, decompose
+
+
+@dataclass
+class RustBrainConfig:
+    model: str = "gpt-4"
+    temperature: float = 0.5
+    seed: int = 0
+    #: fast-thinking candidate solutions per round (RQ1 uses 10).
+    n_solutions: int = 6
+    #: fast→slow→feedback rounds before giving up.
+    max_rounds: int = 2
+    use_knowledge_base: bool = True
+    kb_coverage: float = 1.0
+    use_feedback: bool = True
+    use_pruning: bool = True
+    rollback: RollbackPolicy = RollbackPolicy.ADAPTIVE
+    #: virtual seconds per detector invocation (a real `cargo miri` run).
+    detector_seconds: float = 0.8
+    max_steps_per_solution: int = 4
+
+
+@dataclass
+class RepairOutcome:
+    passed: bool
+    repaired_source: str | None
+    seconds: float
+    tokens: int
+    llm_calls: int
+    solutions_tried: int
+    steps_executed: int
+    hallucinations: int
+    rollbacks: int
+    used_knowledge_base: bool
+    used_feedback: bool
+    error_sequences: list[list[int]] = field(default_factory=list)
+    applied_rules: list[str] = field(default_factory=list)
+    failure_reason: str | None = None
+
+
+class RustBrain:
+    """The paper's framework. One instance accumulates feedback across
+    repairs (the self-learning loop); construct fresh instances for
+    independent experimental arms."""
+
+    def __init__(self, config: RustBrainConfig | None = None,
+                 kb: KnowledgeBase | None = None,
+                 feedback: FeedbackMemory | None = None):
+        self.config = config or RustBrainConfig()
+        self.kb = kb if kb is not None else (
+            KnowledgeBase.default(self.config.kb_coverage,
+                                  use_pruning=self.config.use_pruning)
+            if self.config.use_knowledge_base else None)
+        self.feedback = feedback if feedback is not None else FeedbackMemory()
+        self._repair_index = 0
+
+    # ------------------------------------------------------------------
+
+    def repair(self, source: str, difficulty: int = 2) -> RepairOutcome:
+        """Repair one program; returns the outcome with full accounting."""
+        config = self.config
+        clock = VirtualClock()
+        client = LLMClient(config.model, config.temperature,
+                           seed=config.seed * 7919 + self._repair_index,
+                           clock=clock)
+        self._repair_index += 1
+
+        # F1: detection.
+        clock.advance(config.detector_seconds)
+        report = detect_ub(source, collect=True)
+        if report.passed:
+            return self._outcome(client, True, source, 0, 0, 0, 0, [], [],
+                                 used_kb=False, used_feedback=False)
+        try:
+            program = parse_program(source)
+        except Exception:
+            return self._outcome(client, False, None, 0, 0, 0, 0, [], [],
+                                 used_kb=False, used_feedback=False,
+                                 failure_reason="unparseable input")
+
+        slow = SlowThinking(client, config.rollback,
+                            config.detector_seconds,
+                            config.max_steps_per_solution)
+        reasoning = (AbstractReasoningAgent(client, self.kb,
+                                            config.use_pruning)
+                     if self.kb is not None else None)
+
+        solutions_tried = 0
+        steps_executed = 0
+        hallucinations = 0
+        rollbacks = 0
+        error_sequences: list[list[int]] = []
+        used_kb = False
+        used_feedback = False
+
+        for round_index in range(config.max_rounds):
+            # F2: features + solution generation.
+            try:
+                features = analyse(client, program, report,
+                                   config.use_pruning)
+            except ContextOverflow:
+                return self._outcome(
+                    client, False, None, solutions_tried, steps_executed,
+                    hallucinations, rollbacks, error_sequences, [],
+                    used_kb=used_kb, used_feedback=used_feedback,
+                    failure_reason="exceeds model context limit")
+
+            feedback_rules = None
+            if config.use_feedback:
+                feedback_rules = self.feedback.recall(
+                    features.vector, features.extracted.predicted_category)
+                used_feedback = used_feedback or feedback_rules is not None
+
+            kb_hint = None
+            if reasoning is not None:
+                # Abstract reasoning: LLM AST extraction → Algorithm 1 →
+                # vector search. Consulted every round when the KB is on —
+                # this is the 2x-4x overhead Fig. 7 attributes to it.
+                hint = reasoning.consult(program, report.errors)
+                kb_hint = hint.rules or None
+                used_kb = used_kb or bool(kb_hint)
+
+            plans = rank_candidate_rules(
+                client, features.extracted, program, config.n_solutions,
+                kb_hint=kb_hint, feedback_rules=feedback_rules,
+                difficulty=difficulty, round_index=round_index,
+                orchestrated=True)
+            # Identical samples are one solution, not several: duplicated
+            # plans are collapsed (low temperatures genuinely yield fewer
+            # distinct options — the Fig. 11 under-exploration effect).
+            unique_plans: list[list[str]] = []
+            for plan in plans:
+                if plan not in unique_plans:
+                    unique_plans.append(plan)
+            guided_rules = set(kb_hint or []) | set(feedback_rules or [])
+            solutions = decompose(unique_plans, guided_rules=guided_rules)
+
+            # S1+S2: execute and verify each solution.
+            for solution in solutions:
+                outcome = slow.execute(solution, program, report.error_count)
+                solutions_tried += 1
+                steps_executed += outcome.steps_executed
+                hallucinations += outcome.hallucinations
+                rollbacks += outcome.rollbacks
+                error_sequences.append(outcome.error_sequence)
+                if outcome.solved:
+                    repaired = print_program(outcome.final_program)
+                    # S3: generalise the verified plan.
+                    if config.use_feedback:
+                        self.feedback.learn(
+                            features.vector,
+                            features.extracted.predicted_category,
+                            outcome.applied_rules)
+                    return self._outcome(
+                        client, True, repaired, solutions_tried,
+                        steps_executed, hallucinations, rollbacks,
+                        error_sequences, outcome.applied_rules,
+                        used_kb=used_kb, used_feedback=used_feedback)
+
+        return self._outcome(
+            client, False, None, solutions_tried, steps_executed,
+            hallucinations, rollbacks, error_sequences, [],
+            used_kb=used_kb, used_feedback=used_feedback,
+            failure_reason="all solutions exhausted")
+
+    # ------------------------------------------------------------------
+
+    def _outcome(self, client: LLMClient, passed: bool,
+                 repaired: str | None, solutions: int, steps: int,
+                 hallucinations: int, rollbacks: int,
+                 sequences: list[list[int]], applied: list[str], *,
+                 used_kb: bool, used_feedback: bool,
+                 failure_reason: str | None = None) -> RepairOutcome:
+        return RepairOutcome(
+            passed=passed,
+            repaired_source=repaired,
+            seconds=client.clock.elapsed,
+            tokens=client.stats.total_tokens,
+            llm_calls=client.stats.call_count,
+            solutions_tried=solutions,
+            steps_executed=steps,
+            hallucinations=hallucinations,
+            rollbacks=rollbacks,
+            used_knowledge_base=used_kb,
+            used_feedback=used_feedback,
+            error_sequences=sequences,
+            applied_rules=applied,
+            failure_reason=failure_reason,
+        )

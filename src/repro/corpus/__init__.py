@@ -1,0 +1,12 @@
+"""The UB corpus: mini-Rust programs with labelled undefined behaviour.
+
+Analogous to the dataset the paper collects from the Miri repository
+(§IV "Datasets"): each case carries the buggy source, the developer-repaired
+reference (defining acceptable semantics for the *exec* metric), and the
+ground-truth repair strategies used for corpus validation and oracle scoring.
+"""
+
+from .case import Strategy, UbCase
+from .dataset import Dataset, load_dataset
+
+__all__ = ["Dataset", "Strategy", "UbCase", "load_dataset"]

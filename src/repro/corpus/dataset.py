@@ -1,0 +1,60 @@
+"""Dataset loader: the full UB corpus, indexed by name and category.
+
+>>> from repro.corpus.dataset import load_dataset
+>>> ds = load_dataset()
+>>> len(ds.categories()) >= 14
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..miri.errors import UbKind
+from .case import Strategy, UbCase
+from . import cases_borrows, cases_concurrency, cases_functions, \
+    cases_memory, cases_values
+
+
+@dataclass(frozen=True)
+class Dataset:
+    cases: tuple[UbCase, ...]
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def get(self, name: str) -> UbCase:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+    def by_category(self, category: UbKind) -> list[UbCase]:
+        return [case for case in self.cases if case.category is category]
+
+    def categories(self) -> list[UbKind]:
+        seen: list[UbKind] = []
+        for case in self.cases:
+            if case.category not in seen:
+                seen.append(case.category)
+        return seen
+
+    def subset(self, categories: list[UbKind]) -> "Dataset":
+        return Dataset(tuple(
+            case for case in self.cases if case.category in categories))
+
+
+@lru_cache(maxsize=1)
+def load_dataset() -> Dataset:
+    """The full corpus (the paper's 'Miri dataset' analogue)."""
+    cases: list[UbCase] = []
+    for module in (cases_memory, cases_borrows, cases_concurrency,
+                   cases_functions, cases_values):
+        cases.extend(module.CASES)
+    names = [case.name for case in cases]
+    assert len(names) == len(set(names)), "duplicate case names"
+    return Dataset(tuple(cases))

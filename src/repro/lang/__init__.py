@@ -1,0 +1,34 @@
+"""Mini-Rust language frontend: lexer, parser, AST, printer, types.
+
+This package is the substrate on which both the UB detector
+(:mod:`repro.miri`) and the repair agents (:mod:`repro.core`) operate.
+
+>>> from repro.lang import parse_program, print_program
+>>> prog = parse_program("fn main() { let x = 1 + 2; }")
+>>> print(print_program(prog))
+fn main() {
+    let x = 1 + 2;
+}
+"""
+
+from .ast_nodes import Program, clone, parent_map, walk
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expr, parse_program
+from .printer import print_expr, print_program, print_type
+from .span import Span
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Program",
+    "Span",
+    "clone",
+    "parent_map",
+    "parse_expr",
+    "parse_program",
+    "print_expr",
+    "print_program",
+    "print_type",
+    "tokenize",
+    "walk",
+]

@@ -1,0 +1,240 @@
+"""Tokenizer for the mini-Rust subset.
+
+The lexer is a hand-written scanner producing a flat :class:`Token` stream.
+It recognises exactly the surface syntax the UB corpus needs: identifiers,
+integer/char/string literals (with type suffixes), the keyword set from
+:mod:`repro.lang.tokens`, line and block comments, and all multi-character
+operators used in real Rust code (``::``, ``->``, ``..=``, shifts, compound
+assignments, ...).
+"""
+
+from __future__ import annotations
+
+from .span import Span
+from .tokens import INT_SUFFIXES, KEYWORDS, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised when the scanner meets a character it cannot tokenize."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+# Multi-character punctuation, longest-first so maximal munch works.
+_PUNCT = [
+    ("..=", TokenKind.DOTDOTEQ),
+    ("<<=", TokenKind.SHLEQ),
+    (">>=", TokenKind.SHREQ),
+    ("::", TokenKind.COLONCOLON),
+    ("->", TokenKind.ARROW),
+    ("=>", TokenKind.FATARROW),
+    ("..", TokenKind.DOTDOT),
+    ("&&", TokenKind.AMPAMP),
+    ("||", TokenKind.PIPEPIPE),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("==", TokenKind.EQEQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("+=", TokenKind.PLUSEQ),
+    ("-=", TokenKind.MINUSEQ),
+    ("*=", TokenKind.STAREQ),
+    ("/=", TokenKind.SLASHEQ),
+    ("%=", TokenKind.PERCENTEQ),
+    ("^=", TokenKind.CARETEQ),
+    ("&=", TokenKind.AMPEQ),
+    ("|=", TokenKind.PIPEEQ),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (",", TokenKind.COMMA),
+    (";", TokenKind.SEMI),
+    (":", TokenKind.COLON),
+    (".", TokenKind.DOT),
+    ("#", TokenKind.HASH),
+    ("!", TokenKind.BANG),
+    ("?", TokenKind.QUESTION),
+    ("@", TokenKind.AT),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("^", TokenKind.CARET),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("=", TokenKind.EQ),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+]
+
+
+class Lexer:
+    """Scans mini-Rust source text into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(self._make(TokenKind.EOF, ""))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Scanning helpers
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _make(self, kind: TokenKind, text: str, start: int | None = None,
+              line: int | None = None, col: int | None = None) -> Token:
+        begin = self.pos if start is None else start
+        span = Span(begin, begin + len(text),
+                    self.line if line is None else line,
+                    self.col if col is None else col)
+        return Token(kind, text, span)
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                depth = 1
+                while self.pos < len(self.source) and depth:
+                    if self._peek() == "/" and self._peek(1) == "*":
+                        depth += 1
+                        self._advance(2)
+                    elif self._peek() == "*" and self._peek(1) == "/":
+                        depth -= 1
+                        self._advance(2)
+                    else:
+                        self._advance()
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Token production
+
+    def _next_token(self) -> Token:
+        start, line, col = self.pos, self.line, self.col
+        ch = self._peek()
+
+        if ch.isdigit():
+            return self._lex_number(start, line, col)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(start, line, col)
+        if ch == '"':
+            return self._lex_string(start, line, col)
+        if ch == "'":
+            return self._lex_char_or_lifetime(start, line, col)
+
+        for text, kind in _PUNCT:
+            if self.source.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(kind, text, Span(start, self.pos, line, col))
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_number(self, start: int, line: int, col: int) -> Token:
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek().isalnum() or self._peek() == "_":
+                if self._peek() not in "_0123456789abcdefABCDEF":
+                    break
+                self._advance()
+        elif self._peek() == "0" and self._peek(1) in ("b", "B"):
+            self._advance(2)
+            while self._peek() and self._peek() in "01_":
+                self._advance()
+        else:
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+        # Optional type suffix, e.g. `4usize`, `0xffu8`.
+        for suffix in INT_SUFFIXES:
+            if self.source.startswith(suffix, self.pos):
+                after = self.pos + len(suffix)
+                nxt = self.source[after] if after < len(self.source) else ""
+                if not (nxt.isalnum() or nxt == "_"):
+                    self._advance(len(suffix))
+                    break
+        text = self.source[start : self.pos]
+        return Token(TokenKind.INT, text, Span(start, self.pos, line, col))
+
+    def _lex_ident(self, start: int, line: int, col: int) -> Token:
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, Span(start, self.pos, line, col))
+
+    def _lex_string(self, start: int, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise LexError("unterminated string literal", line, col)
+            if ch == "\\":
+                self._advance(2)
+                continue
+            if ch == '"':
+                self._advance()
+                break
+            self._advance()
+        text = self.source[start : self.pos]
+        return Token(TokenKind.STRING, text, Span(start, self.pos, line, col))
+
+    def _lex_char_or_lifetime(self, start: int, line: int, col: int) -> Token:
+        # Either a char literal `'a'` (with escapes) or a lifetime `'static`.
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            self._advance(2)
+            if self._peek() != "'":
+                raise LexError("unterminated char literal", line, col)
+            self._advance()
+            kind = TokenKind.CHAR
+        elif self._peek(1) == "'":
+            self._advance(2)
+            kind = TokenKind.CHAR
+        else:
+            # Lifetime: consume identifier characters.
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            kind = TokenKind.LIFETIME
+        text = self.source[start : self.pos]
+        return Token(kind, text, Span(start, self.pos, line, col))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper around :class:`Lexer`."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,34 @@
+"""Source spans for diagnostics.
+
+Every token and AST node carries a :class:`Span` so that detector errors and
+agent rewrites can point back at concrete source locations, mirroring the way
+Miri diagnostics reference ``file.rs:line:col``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open byte range ``[start, end)`` in the original source text."""
+
+    start: int
+    end: int
+    line: int
+    col: int
+
+    def merge(self, other: "Span") -> "Span":
+        """Return the smallest span covering both ``self`` and ``other``."""
+        if other.start < self.start:
+            first, last = other, self
+        else:
+            first, last = self, other
+        return Span(first.start, max(self.end, other.end), first.line, first.col)
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+DUMMY_SPAN = Span(0, 0, 0, 0)

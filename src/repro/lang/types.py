@@ -1,0 +1,376 @@
+"""Type representations for the mini-Rust subset.
+
+Types are immutable dataclasses. Layout queries (``size_of`` / ``align_of``)
+live here too because both the detector's memory model and the repair agents'
+assertion synthesis need them. The layout rules follow Rust's default
+representation for the subset we model: little-endian integers, 8-byte
+pointers, arrays packed, tuples/structs padded to field alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+POINTER_SIZE = 8
+POINTER_ALIGN = 8
+
+
+class LayoutError(Exception):
+    """Raised for types without a statically known layout (e.g. slices)."""
+
+
+@dataclass(frozen=True)
+class Ty:
+    """Base class for all types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TyInt(Ty):
+    bits: int
+    signed: bool
+    #: Present for usize/isize so printing round-trips.
+    pointer_sized: bool = False
+
+    @property
+    def name(self) -> str:
+        if self.pointer_sized:
+            return "isize" if self.signed else "usize"
+        return f"{'i' if self.signed else 'u'}{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` into this type's representable range (two's complement)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def in_range(self, value: int) -> bool:
+        return self.min_value <= value <= self.max_value
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TyBool(Ty):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class TyChar(Ty):
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class TyUnit(Ty):
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class TyStr(Ty):
+    """The unsized ``str`` type; only appears behind references."""
+
+    def __str__(self) -> str:
+        return "str"
+
+
+@dataclass(frozen=True)
+class TyNever(Ty):
+    def __str__(self) -> str:
+        return "!"
+
+
+@dataclass(frozen=True)
+class TyInfer(Ty):
+    """The `_` placeholder; resolved during interpretation."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class TyTuple(Ty):
+    elems: tuple[Ty, ...]
+
+    def __str__(self) -> str:
+        if len(self.elems) == 1:
+            return f"({self.elems[0]},)"
+        return "(" + ", ".join(str(e) for e in self.elems) + ")"
+
+
+@dataclass(frozen=True)
+class TyArray(Ty):
+    elem: Ty
+    length: int
+
+    def __str__(self) -> str:
+        return f"[{self.elem}; {self.length}]"
+
+
+@dataclass(frozen=True)
+class TySlice(Ty):
+    elem: Ty
+
+    def __str__(self) -> str:
+        return f"[{self.elem}]"
+
+
+@dataclass(frozen=True)
+class TyRef(Ty):
+    target: Ty
+    mutable: bool
+
+    def __str__(self) -> str:
+        return f"&mut {self.target}" if self.mutable else f"&{self.target}"
+
+
+@dataclass(frozen=True)
+class TyRawPtr(Ty):
+    target: Ty
+    mutable: bool
+
+    def __str__(self) -> str:
+        return f"*mut {self.target}" if self.mutable else f"*const {self.target}"
+
+
+@dataclass(frozen=True)
+class TyFn(Ty):
+    params: tuple[Ty, ...]
+    ret: Ty
+    is_unsafe: bool = False
+
+    def __str__(self) -> str:
+        prefix = "unsafe fn" if self.is_unsafe else "fn"
+        params = ", ".join(str(p) for p in self.params)
+        if isinstance(self.ret, TyUnit):
+            return f"{prefix}({params})"
+        return f"{prefix}({params}) -> {self.ret}"
+
+
+@dataclass(frozen=True)
+class TyPath(Ty):
+    """A named type: user structs/unions or known std generics.
+
+    ``Vec<i32>`` is ``TyPath("Vec", (TyInt(32, True),))``; plain ``Foo`` has
+    empty ``args``.
+    """
+
+    name: str
+    args: tuple[Ty, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}<{', '.join(str(a) for a in self.args)}>"
+
+
+# ---------------------------------------------------------------------------
+# Common singletons
+
+I8 = TyInt(8, True)
+I16 = TyInt(16, True)
+I32 = TyInt(32, True)
+I64 = TyInt(64, True)
+U8 = TyInt(8, False)
+U16 = TyInt(16, False)
+U32 = TyInt(32, False)
+U64 = TyInt(64, False)
+USIZE = TyInt(64, False, pointer_sized=True)
+ISIZE = TyInt(64, True, pointer_sized=True)
+BOOL = TyBool()
+CHAR = TyChar()
+UNIT = TyUnit()
+NEVER = TyNever()
+INFER = TyInfer()
+
+INT_TYPES = {
+    "i8": I8, "i16": I16, "i32": I32, "i64": I64,
+    "u8": U8, "u16": U16, "u32": U32, "u64": U64,
+    "usize": USIZE, "isize": ISIZE,
+}
+
+PRIMITIVES: dict[str, Ty] = {**INT_TYPES, "bool": BOOL, "char": CHAR, "str": TyStr()}
+
+#: std generic wrappers whose layout is a single owning pointer triple/box.
+BUILTIN_GENERICS = {"Vec", "Box", "MaybeUninit", "Option", "Mutex", "JoinHandle", "ManuallyDrop"}
+BUILTIN_NAMED = {"AtomicUsize", "AtomicI64", "AtomicBool", "Layout", "String"}
+
+
+# ---------------------------------------------------------------------------
+# Layout
+
+
+def size_of(ty: Ty, structs: dict[str, "StructLayout"] | None = None) -> int:
+    """Byte size of ``ty`` under our fixed 64-bit layout model."""
+    if isinstance(ty, TyInt):
+        return ty.bits // 8
+    if isinstance(ty, TyBool):
+        return 1
+    if isinstance(ty, TyChar):
+        return 4
+    if isinstance(ty, (TyUnit, TyNever)):
+        return 0
+    if isinstance(ty, TyArray):
+        return size_of(ty.elem, structs) * ty.length
+    if isinstance(ty, TyTuple):
+        return _aggregate_layout([*ty.elems], structs)[0]
+    if isinstance(ty, (TyRef, TyRawPtr, TyFn)):
+        if isinstance(ty, (TyRef, TyRawPtr)) and isinstance(ty.target, (TySlice, TyStr)):
+            return 2 * POINTER_SIZE  # fat pointer: (data, len)
+        return POINTER_SIZE
+    if isinstance(ty, TyPath):
+        return _path_size(ty, structs)
+    raise LayoutError(f"type {ty} has no static size")
+
+
+def align_of(ty: Ty, structs: dict[str, "StructLayout"] | None = None) -> int:
+    if isinstance(ty, TyInt):
+        return ty.bits // 8
+    if isinstance(ty, TyBool):
+        return 1
+    if isinstance(ty, TyChar):
+        return 4
+    if isinstance(ty, (TyUnit, TyNever)):
+        return 1
+    if isinstance(ty, TyArray):
+        return align_of(ty.elem, structs)
+    if isinstance(ty, TyTuple):
+        return max((align_of(e, structs) for e in ty.elems), default=1)
+    if isinstance(ty, (TyRef, TyRawPtr, TyFn)):
+        return POINTER_ALIGN
+    if isinstance(ty, TyPath):
+        return _path_align(ty, structs)
+    raise LayoutError(f"type {ty} has no static alignment")
+
+
+def _path_size(ty: TyPath, structs: dict[str, "StructLayout"] | None) -> int:
+    if ty.name == "Vec":
+        return 3 * POINTER_SIZE  # (ptr, cap, len)
+    if ty.name == "String":
+        return 3 * POINTER_SIZE
+    if ty.name in ("Box", "JoinHandle"):
+        return POINTER_SIZE
+    if ty.name in ("MaybeUninit", "ManuallyDrop"):
+        return size_of(ty.args[0], structs)
+    if ty.name == "Option":
+        inner = ty.args[0]
+        if isinstance(inner, (TyRef, TyRawPtr, TyFn)) or (
+            isinstance(inner, TyPath) and inner.name == "Box"
+        ):
+            return POINTER_SIZE  # niche optimisation
+        return _aggregate_layout([BOOL, inner], structs)[0]
+    if ty.name == "Mutex":
+        return POINTER_SIZE + size_of(ty.args[0], structs)
+    if ty.name in ("AtomicUsize", "AtomicI64"):
+        return 8
+    if ty.name == "AtomicBool":
+        return 1
+    if ty.name == "Layout":
+        return 2 * POINTER_SIZE
+    if ty.name == "MutexGuard":
+        return 2 * POINTER_SIZE
+    if ty.name == "Closure":
+        return POINTER_SIZE
+    if structs and ty.name in structs:
+        return structs[ty.name].size
+    raise LayoutError(f"unknown named type {ty.name}")
+
+
+def _path_align(ty: TyPath, structs: dict[str, "StructLayout"] | None) -> int:
+    if ty.name in ("Vec", "String", "Box", "JoinHandle", "Layout",
+                   "MutexGuard", "Closure"):
+        return POINTER_ALIGN
+    if ty.name in ("MaybeUninit", "ManuallyDrop"):
+        return align_of(ty.args[0], structs)
+    if ty.name == "Option":
+        inner = ty.args[0]
+        if isinstance(inner, (TyRef, TyRawPtr, TyFn)) or (
+            isinstance(inner, TyPath) and inner.name == "Box"
+        ):
+            return POINTER_ALIGN
+        return max(1, align_of(inner, structs))
+    if ty.name == "Mutex":
+        return max(POINTER_ALIGN, align_of(ty.args[0], structs))
+    if ty.name in ("AtomicUsize", "AtomicI64"):
+        return 8
+    if ty.name == "AtomicBool":
+        return 1
+    if structs and ty.name in structs:
+        return structs[ty.name].align
+    raise LayoutError(f"unknown named type {ty.name}")
+
+
+def _aggregate_layout(
+    fields: list[Ty], structs: dict[str, "StructLayout"] | None
+) -> tuple[int, int, list[int]]:
+    """Return (size, align, per-field offsets) for a C-like aggregate."""
+    offset = 0
+    max_align = 1
+    offsets: list[int] = []
+    for fld in fields:
+        fa = align_of(fld, structs)
+        max_align = max(max_align, fa)
+        offset = _round_up(offset, fa)
+        offsets.append(offset)
+        offset += size_of(fld, structs)
+    return _round_up(offset, max_align), max_align, offsets
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """Computed layout for a user struct or union."""
+
+    name: str
+    field_names: tuple[str, ...]
+    field_types: tuple[Ty, ...]
+    field_offsets: tuple[int, ...]
+    size: int
+    align: int
+    is_union: bool = False
+
+    @classmethod
+    def for_struct(
+        cls, name: str, fields: list[tuple[str, Ty]],
+        structs: dict[str, "StructLayout"] | None = None,
+    ) -> "StructLayout":
+        names = tuple(f[0] for f in fields)
+        tys = tuple(f[1] for f in fields)
+        size, align, offsets = _aggregate_layout(list(tys), structs)
+        return cls(name, names, tys, tuple(offsets), size, align)
+
+    @classmethod
+    def for_union(
+        cls, name: str, fields: list[tuple[str, Ty]],
+        structs: dict[str, "StructLayout"] | None = None,
+    ) -> "StructLayout":
+        names = tuple(f[0] for f in fields)
+        tys = tuple(f[1] for f in fields)
+        size = max((size_of(t, structs) for t in tys), default=0)
+        align = max((align_of(t, structs) for t in tys), default=1)
+        size = _round_up(size, align)
+        return cls(name, names, tys, tuple(0 for _ in tys), size, align, is_union=True)
+
+    def offset_of(self, field_name: str) -> int:
+        return self.field_offsets[self.field_names.index(field_name)]
+
+    def type_of(self, field_name: str) -> Ty:
+        return self.field_types[self.field_names.index(field_name)]

@@ -1,0 +1,48 @@
+"""Simulated-LLM substrate: profiles, client, sampling, repair oracle.
+
+No network access is available (or desirable) in this reproduction, so the
+four models the paper evaluates (GPT-3.5, GPT-4, GPT-O1, Claude-3.5) are
+replaced by stochastic rule-based oracles whose capability profiles are
+calibrated against the paper's standalone-model results. See DESIGN.md
+("Substitutions") for why this preserves the behaviours under study.
+"""
+
+from .client import ContextOverflow, LLMClient, LLMStats, VirtualClock
+from .oracle import (
+    CATEGORY_RULE_PRIORS,
+    ExtractedFeatures,
+    corrupt_step,
+    extract_features,
+    judge_semantics,
+    rank_candidate_rules,
+)
+from .profiles import PROFILES, ModelProfile, get_profile
+from .sampling import (
+    diversity_count,
+    exploration_factor,
+    fidelity_factor,
+    hallucination_factor,
+)
+from .tokenizer import count_tokens, exceeds_context
+
+__all__ = [
+    "CATEGORY_RULE_PRIORS",
+    "ContextOverflow",
+    "ExtractedFeatures",
+    "LLMClient",
+    "LLMStats",
+    "ModelProfile",
+    "PROFILES",
+    "VirtualClock",
+    "corrupt_step",
+    "count_tokens",
+    "diversity_count",
+    "exceeds_context",
+    "exploration_factor",
+    "extract_features",
+    "fidelity_factor",
+    "get_profile",
+    "hallucination_factor",
+    "judge_semantics",
+    "rank_candidate_rules",
+]

@@ -1,0 +1,111 @@
+"""Chat-style client for the simulated models, with cost/latency accounting.
+
+The client is the single funnel through which every "LLM call" in the system
+flows: it renders the prompt, counts tokens, advances a *virtual clock* by
+the profile's latency model, and hands a per-call seeded RNG to the oracle.
+Determinism: the RNG for call *i* is seeded from (global seed, model name,
+temperature, i), so an experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from .profiles import ModelProfile, get_profile
+from .tokenizer import DEFAULT_CONTEXT_LIMIT, count_tokens, exceeds_context
+
+
+class ContextOverflow(Exception):
+    """Prompt exceeds the model's context limit (§II-A scope rule)."""
+
+
+class VirtualClock:
+    """Accumulates simulated wall-clock seconds (LLM latency, tool runs)."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.elapsed += max(0.0, seconds)
+
+
+@dataclass
+class LLMCall:
+    task: str
+    prompt_tokens: int
+    completion_tokens: int
+    latency: float
+
+
+@dataclass
+class LLMStats:
+    calls: list[LLMCall] = field(default_factory=list)
+
+    @property
+    def call_count(self) -> int:
+        return len(self.calls)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(c.prompt_tokens + c.completion_tokens for c in self.calls)
+
+    @property
+    def total_latency(self) -> float:
+        return sum(c.latency for c in self.calls)
+
+
+class LLMClient:
+    """One conversation endpoint bound to a model profile and temperature."""
+
+    def __init__(self, model: str | ModelProfile = "gpt-4",
+                 temperature: float = 0.5, seed: int = 0,
+                 clock: VirtualClock | None = None,
+                 context_limit: int = DEFAULT_CONTEXT_LIMIT):
+        self.profile = model if isinstance(model, ModelProfile) \
+            else get_profile(model)
+        self.temperature = temperature
+        self.seed = seed
+        self.clock = clock if clock is not None else VirtualClock()
+        self.context_limit = context_limit
+        self.stats = LLMStats()
+        self._call_index = 0
+
+    # ------------------------------------------------------------------
+
+    def rng_for_call(self, task: str) -> random.Random:
+        """Deterministic per-call RNG: (seed, model, temperature, index)."""
+        key = (f"{self.seed}|{self.profile.name}|{self.temperature:.3f}"
+               f"|{self._call_index}|{task}")
+        digest = hashlib.sha256(key.encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def charge(self, task: str, prompt: str,
+               completion_tokens: int = 256) -> random.Random:
+        """Account for one model invocation and return its RNG.
+
+        Raises :class:`ContextOverflow` for prompts beyond the context limit
+        — callers treat the affected program as out of scope, exactly as the
+        paper's scope section prescribes.
+        """
+        if exceeds_context(prompt, self.context_limit):
+            raise ContextOverflow(
+                f"prompt of {count_tokens(prompt)} tokens exceeds the "
+                f"{self.context_limit}-token context limit")
+        prompt_tokens = count_tokens(prompt)
+        latency = (self.profile.latency_base
+                   + self.profile.latency_per_ktoken
+                   * (prompt_tokens + completion_tokens) / 1000.0)
+        self.clock.advance(latency)
+        rng = self.rng_for_call(task)
+        self.stats.calls.append(LLMCall(task, prompt_tokens,
+                                        completion_tokens, latency))
+        self._call_index += 1
+        return rng
+
+    def fork(self, seed_offset: int = 1) -> "LLMClient":
+        """A client with the same profile/clock but an independent RNG stream."""
+        return LLMClient(self.profile, self.temperature,
+                         self.seed + seed_offset, self.clock,
+                         self.context_limit)

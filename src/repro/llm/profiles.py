@@ -1,0 +1,122 @@
+"""Capability profiles for the simulated language models.
+
+These are the **only tuned quantities** in the reproduction (see the
+"calibration contract" in DESIGN.md). A profile parameterises how often the
+stochastic oracle succeeds at each sub-task: classifying the error, ranking a
+genuinely-viable repair first, preserving semantics, and avoiding corrupting
+hallucinations — plus a latency model for the virtual clock.
+
+The numbers are calibrated so that the *standalone-model* repair rates land
+in the bands Fig. 8/9 report (GPT-4 alone ≈ 55-65% pass, GPT-3.5 clearly
+weaker, Claude-3.5 close to GPT-4, GPT-O1 best at reasoning but weak on rare
+error shapes). Everything downstream of these probabilities is mechanistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..miri.errors import UbKind
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    name: str
+    #: P(correctly classifying error category / fix class) at T=0.5.
+    feature_accuracy: float
+    #: Base P(a generated solution leads with a genuinely-viable rule).
+    repair_skill: float
+    #: P(an erroneous step is a corrupting hallucination, not a no-op).
+    hallucination_rate: float
+    #: P(picking a semantics-preserving fix when several fixes are viable).
+    semantic_fidelity: float
+    #: Multiplicative skill penalty per case-difficulty point above 1.
+    difficulty_penalty: float
+    #: Virtual-clock latency: seconds = base + per_ktoken * (tokens / 1000).
+    latency_base: float
+    latency_per_ktoken: float
+    #: Per-category skill multipliers (captures "rare error" weaknesses).
+    category_skill: dict[UbKind, float] = field(default_factory=dict)
+    #: Skill multiplier when driven inside a multi-agent framework (tool-use
+    #: / instruction-following quality — distinct from one-shot repair).
+    orchestration: float = 1.0
+
+    def skill_for(self, category: UbKind, difficulty: int) -> float:
+        skill = self.repair_skill * self.category_skill.get(category, 1.0)
+        skill *= max(0.25, 1.0 - self.difficulty_penalty * (difficulty - 1))
+        return min(0.98, skill)
+
+
+GPT_35 = ModelProfile(
+    name="gpt-3.5",
+    feature_accuracy=0.68,
+    repair_skill=0.44,
+    hallucination_rate=0.26,
+    semantic_fidelity=0.52,
+    difficulty_penalty=0.14,
+    latency_base=1.2,
+    latency_per_ktoken=4.0,
+    orchestration=0.85,
+)
+
+GPT_4 = ModelProfile(
+    name="gpt-4",
+    feature_accuracy=0.88,
+    repair_skill=0.63,
+    hallucination_rate=0.12,
+    semantic_fidelity=0.72,
+    difficulty_penalty=0.09,
+    latency_base=2.0,
+    latency_per_ktoken=10.0,
+)
+
+CLAUDE_35 = ModelProfile(
+    name="claude-3.5",
+    feature_accuracy=0.85,
+    repair_skill=0.61,
+    hallucination_rate=0.13,
+    semantic_fidelity=0.70,
+    difficulty_penalty=0.11,
+    latency_base=1.6,
+    latency_per_ktoken=7.0,
+    # Fig. 8/9: Claude+RustBrain lags GPT-4+RustBrain on deep-dependency
+    # categories despite comparable standalone capability — modelled as a
+    # weaker orchestration multiplier plus category-specific dips.
+    category_skill={
+        UbKind.STACK_BORROW: 0.85,
+        UbKind.BOTH_BORROW: 0.85,
+        UbKind.TAIL_CALL: 0.88,
+    },
+    orchestration=0.30,
+)
+
+GPT_O1 = ModelProfile(
+    name="gpt-o1",
+    feature_accuracy=0.92,
+    repair_skill=0.68,
+    hallucination_rate=0.07,
+    semantic_fidelity=0.74,
+    difficulty_penalty=0.06,
+    latency_base=9.0,          # long deliberation chains
+    latency_per_ktoken=22.0,
+    # Fig. 10: exceptional reasoning, but fails to tailor fixes for uncommon
+    # error shapes (panic, tail calls) from code features alone.
+    category_skill={
+        UbKind.PANIC: 0.22,
+        UbKind.TAIL_CALL: 0.50,
+        UbKind.FUNC_CALL: 0.80,
+    },
+)
+
+PROFILES: dict[str, ModelProfile] = {
+    profile.name: profile
+    for profile in (GPT_35, GPT_4, CLAUDE_35, GPT_O1)
+}
+
+
+def get_profile(name: str) -> ModelProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown model {name!r}; available: {known}") from None

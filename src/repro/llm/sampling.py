@@ -1,0 +1,47 @@
+"""Temperature model: how sampling temperature modulates the oracle.
+
+Reproduces the RQ3 shape (Fig. 11): pass/exec rates peak near T = 0.5 —
+low temperatures under-explore (the viable repair is never sampled), high
+temperatures erode semantic integrity (more hallucinations, less fidelity).
+"""
+
+from __future__ import annotations
+
+
+def exploration_factor(temperature: float) -> float:
+    """Multiplier on solution-ranking quality, peaked at T = 0.5.
+
+    The quadratic ``0.70 + 1.2 t - 1.2 t²`` is 0.70 at the extremes and
+    1.0 at T = 0.5: low T repeatedly samples the same (possibly wrong)
+    candidate, high T sprays across the rule space.
+    """
+    t = _clamp(temperature)
+    return 0.55 + 1.8 * t - 1.8 * t * t
+
+
+def fidelity_factor(temperature: float) -> float:
+    """Multiplier on semantic fidelity, mid-peaked with a high-T skew.
+
+    Low temperatures lock onto the first obvious (often blunt) repair and
+    miss the semantics-preserving one; high temperatures paraphrase
+    constants away. The factor peaks near T = 0.5 (Fig. 11's exec curve).
+    """
+    t = _clamp(temperature)
+    return 0.70 + 1.25 * t - 1.30 * t * t
+
+
+def hallucination_factor(temperature: float) -> float:
+    """Multiplier on hallucination rate; grows with temperature."""
+    t = _clamp(temperature)
+    return 0.35 + 1.3 * t
+
+
+def diversity_count(temperature: float, requested: int) -> int:
+    """How many *distinct* candidate solutions sampling actually yields."""
+    t = _clamp(temperature)
+    distinct = max(1, round(requested * (0.35 + 1.0 * t)))
+    return min(requested, distinct)
+
+
+def _clamp(temperature: float) -> float:
+    return max(0.0, min(1.0, temperature))

@@ -1,0 +1,23 @@
+"""Token accounting for prompts/completions.
+
+A byte-pair-ish heuristic (≈ 4 chars / token with a word floor) — the exact
+constant does not matter, only that longer prompts cost proportionally more
+virtual latency and that the token-limit guard (§II-A: "we temporarily
+disregard Rust code that exceeds LLM token limits") has something to measure.
+"""
+
+from __future__ import annotations
+
+DEFAULT_CONTEXT_LIMIT = 16_384
+
+
+def count_tokens(text: str) -> int:
+    if not text:
+        return 0
+    by_chars = len(text) / 4.0
+    by_words = len(text.split()) * 1.3
+    return max(1, round(max(by_chars, by_words)))
+
+
+def exceeds_context(text: str, limit: int = DEFAULT_CONTEXT_LIMIT) -> bool:
+    return count_tokens(text) > limit

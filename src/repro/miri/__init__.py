@@ -1,0 +1,74 @@
+"""Miri-equivalent UB detector for the mini-Rust subset.
+
+The public entry point is :func:`detect_ub`:
+
+>>> from repro.miri import detect_ub
+>>> report = detect_ub('''
+... fn main() {
+...     let b = Box::new(7);
+...     let p = Box::into_raw(b);
+...     unsafe { drop(Box::from_raw(p)); }
+...     let v = unsafe { *p };
+... }
+... ''')
+>>> report.passed
+False
+>>> report.errors[0].kind.value
+'dangling_pointer'
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.parser import ParseError, parse_program
+from .errors import MiriError, MiriReport, UbKind, PAPER_CATEGORIES
+from .interp import DEFAULT_FUEL, Interpreter
+
+
+def detect_ub(source: str | ast.Program, *, collect: bool = False,
+              max_errors: int = 8, fuel: int = DEFAULT_FUEL,
+              debug: bool = False) -> MiriReport:
+    """Run the detector over ``source`` (text or already-parsed program).
+
+    ``collect=True`` enables error-collection mode: instead of stopping at the
+    first UB (Miri's behaviour, and the default), the interpreter records the
+    error, skips the offending statement, and keeps going — this is what gives
+    RustBrain's rollback mechanism a meaningful per-iteration error *count*
+    (the ``n_i`` sequences of §III-B2).
+    """
+    if isinstance(source, str):
+        try:
+            program = parse_program(source)
+        except ParseError as err:
+            report = MiriReport()
+            report.errors.append(MiriError(
+                UbKind.COMPILE, f"parse error: {err}", err.span))
+            return report
+        except Exception as err:  # lexer errors and friends
+            report = MiriReport()
+            report.errors.append(MiriError(
+                UbKind.COMPILE, f"lex error: {err}"))
+            return report
+    else:
+        program = source
+    interp = Interpreter(program, collect=collect, max_errors=max_errors,
+                         fuel=fuel, debug=debug)
+    return interp.run()
+
+
+def error_count(source: str | ast.Program, **kwargs) -> int:
+    """Number of distinct errors in collection mode (RustBrain's ``n_i``)."""
+    kwargs.setdefault("collect", True)
+    return detect_ub(source, **kwargs).error_count
+
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "Interpreter",
+    "MiriError",
+    "MiriReport",
+    "PAPER_CATEGORIES",
+    "UbKind",
+    "detect_ub",
+    "error_count",
+]

@@ -1,0 +1,165 @@
+"""Simplified Stacked Borrows.
+
+Each allocation carries one borrow stack (allocation granularity — coarser
+than Miri's per-byte stacks, but sufficient to reproduce the canonical
+aliasing-UB patterns the corpus exercises):
+
+* a new allocation starts with its base tag, permission ``UNIQUE``;
+* ``&mut place``  pushes a new ``UNIQUE`` item (a write-capable reborrow);
+* ``&place``      pushes a new ``SHARED_RO`` item;
+* casting a reference to a raw pointer pushes a ``SHARED_RW`` item;
+* a **read** through tag *t* requires *t* to be on the stack and pops any
+  ``UNIQUE`` items above it (reads invalidate unique reborrows above);
+* a **write** through tag *t* requires *t* to be on the stack with write
+  permission (``UNIQUE``/``SHARED_RW``) and pops everything above it.
+
+A failed access raises a stacked-borrows violation. The error is categorised
+as ``both_borrow`` when the invalidated tag came from a *reference* (the
+classic "mutable + shared alias" misuse) and ``stack_borrow`` when it came
+from a *raw pointer* (the classic "raw pointer invalidated by reborrow"),
+matching how the Miri dataset splits its folders.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..lang.span import DUMMY_SPAN, Span
+from .errors import MiriError, UbKind
+
+_TAG_COUNTER = itertools.count(1)
+
+
+class Permission(enum.Enum):
+    UNIQUE = "Unique"
+    SHARED_RW = "SharedReadWrite"
+    SHARED_RO = "SharedReadOnly"
+
+
+class TagOrigin(enum.Enum):
+    BASE = "base"
+    REF_MUT = "&mut"
+    REF_SHARED = "&"
+    RAW = "raw pointer"
+
+
+@dataclass(frozen=True)
+class BorrowItem:
+    tag: int
+    perm: Permission
+    origin: TagOrigin
+
+
+class BorrowError(Exception):
+    def __init__(self, error: MiriError):
+        super().__init__(error.message)
+        self.error = error
+
+
+def fresh_tag() -> int:
+    return next(_TAG_COUNTER)
+
+
+@dataclass
+class BorrowStack:
+    """The per-allocation stack of borrow items."""
+
+    items: list[BorrowItem] = field(default_factory=list)
+    #: Origins of every tag ever pushed — needed to categorise *missing* tags.
+    origins: dict[int, TagOrigin] = field(default_factory=dict)
+
+    @classmethod
+    def new_allocation(cls) -> tuple["BorrowStack", int]:
+        stack = cls()
+        base = fresh_tag()
+        stack.items.append(BorrowItem(base, Permission.UNIQUE, TagOrigin.BASE))
+        stack.origins[base] = TagOrigin.BASE
+        return stack, base
+
+    # ------------------------------------------------------------------
+
+    def _index_of(self, tag: int) -> int | None:
+        for index in range(len(self.items) - 1, -1, -1):
+            if self.items[index].tag == tag:
+                return index
+        return None
+
+    def _missing_tag_error(self, tag: int, access: str, span: Span) -> BorrowError:
+        origin = self.origins.get(tag, TagOrigin.RAW)
+        if origin is TagOrigin.RAW:
+            kind = UbKind.STACK_BORROW
+            what = "raw pointer"
+        else:
+            kind = UbKind.BOTH_BORROW
+            what = f"reference ({origin.value})"
+        message = (
+            f"attempting a {access} access using {what} tag <{tag}>, but that "
+            f"tag does not exist in the borrow stack for this location"
+        )
+        return BorrowError(MiriError(kind, message, span))
+
+    # ------------------------------------------------------------------
+    # Accesses
+
+    def read(self, tag: int, span: Span = DUMMY_SPAN) -> None:
+        index = self._index_of(tag)
+        if index is None:
+            raise self._missing_tag_error(tag, "read", span)
+        # Reads invalidate Unique reborrows above the granting item.
+        self.items[index + 1 :] = [
+            item for item in self.items[index + 1 :]
+            if item.perm is not Permission.UNIQUE
+        ]
+
+    def write(self, tag: int, span: Span = DUMMY_SPAN) -> None:
+        index = self._index_of(tag)
+        if index is None:
+            raise self._missing_tag_error(tag, "write", span)
+        item = self.items[index]
+        if item.perm is Permission.SHARED_RO:
+            raise BorrowError(MiriError(
+                UbKind.BOTH_BORROW,
+                f"attempting a write access using shared tag <{tag}>, which "
+                f"only grants SharedReadOnly permission",
+                span,
+            ))
+        del self.items[index + 1 :]
+
+    # ------------------------------------------------------------------
+    # Retags (new pointer creation)
+
+    def _push(self, parent_tag: int, perm: Permission, origin: TagOrigin,
+              span: Span) -> int:
+        tag = fresh_tag()
+        self.items.append(BorrowItem(tag, perm, origin))
+        self.origins[tag] = origin
+        return tag
+
+    def retag_mut(self, parent_tag: int, span: Span = DUMMY_SPAN) -> int:
+        """``&mut place`` — a unique reborrow: acts as a write access first."""
+        self.write(parent_tag, span)
+        return self._push(parent_tag, Permission.UNIQUE, TagOrigin.REF_MUT, span)
+
+    def retag_shared(self, parent_tag: int, span: Span = DUMMY_SPAN) -> int:
+        """``&place`` — shared reborrow: acts as a read access first."""
+        self.read(parent_tag, span)
+        return self._push(parent_tag, Permission.SHARED_RO, TagOrigin.REF_SHARED, span)
+
+    def retag_raw(self, parent_tag: int, mutable: bool,
+                  span: Span = DUMMY_SPAN) -> int:
+        """Reference-to-raw-pointer cast (``&mut x as *mut T`` etc.)."""
+        if mutable:
+            self.write(parent_tag, span)
+            perm = Permission.SHARED_RW
+        else:
+            self.read(parent_tag, span)
+            perm = Permission.SHARED_RO
+        return self._push(parent_tag, perm, TagOrigin.RAW, span)
+
+    def grants(self, tag: int) -> bool:
+        return self._index_of(tag) is not None
+
+    def depth(self) -> int:
+        return len(self.items)

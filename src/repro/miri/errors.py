@@ -1,0 +1,142 @@
+"""Undefined-behavior taxonomy and error reporting.
+
+The categories mirror the directory names of the Miri test-suite dataset the
+paper evaluates on (alloc, dangling_pointer, stacked_borrows, both_borrows,
+provenance, validity, unaligned, uninit, data_race, concurrency,
+function_calls, function_pointers, panic, tail_calls).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..lang.span import DUMMY_SPAN, Span
+
+
+class UbKind(enum.Enum):
+    """UB / error categories, named after the paper's dataset folders."""
+
+    ALLOC = "alloc"
+    DANGLING_POINTER = "dangling_pointer"
+    PANIC = "panic"
+    PROVENANCE = "provenance"
+    UNINIT = "uninit"
+    BOTH_BORROW = "both_borrow"
+    DATA_RACE = "datarace"
+    FUNC_CALL = "func_call"
+    FUNC_POINTER = "func_pointer"
+    STACK_BORROW = "stack_borrow"
+    VALIDITY = "validity"
+    UNALIGNED = "unaligned"
+    CONCURRENCY = "concurrency"
+    TAIL_CALL = "tailcall"
+    # Non-UB failure modes the harness still has to count.
+    COMPILE = "compile"
+    UNSUPPORTED = "unsupported"
+    RESOURCE = "resource"
+
+    @property
+    def is_ub(self) -> bool:
+        return self not in (UbKind.COMPILE, UbKind.UNSUPPORTED, UbKind.RESOURCE)
+
+
+#: The twelve categories Fig. 8/9/12 and Table I sweep over, in paper order.
+PAPER_CATEGORIES = [
+    UbKind.ALLOC,
+    UbKind.DANGLING_POINTER,
+    UbKind.PANIC,
+    UbKind.PROVENANCE,
+    UbKind.UNINIT,
+    UbKind.BOTH_BORROW,
+    UbKind.DATA_RACE,
+    UbKind.FUNC_CALL,
+    UbKind.FUNC_POINTER,
+    UbKind.STACK_BORROW,
+    UbKind.VALIDITY,
+    UbKind.UNALIGNED,
+    UbKind.CONCURRENCY,
+    UbKind.TAIL_CALL,
+]
+
+
+@dataclass(frozen=True)
+class MiriError:
+    """One detected error, analogous to a Miri diagnostic."""
+
+    kind: UbKind
+    message: str
+    span: Span = DUMMY_SPAN
+
+    def render(self) -> str:
+        prefix = {
+            UbKind.PANIC: "error: abnormal termination",
+            UbKind.COMPILE: "error[compile]",
+            UbKind.UNSUPPORTED: "error: unsupported operation",
+            UbKind.RESOURCE: "error: resource exhaustion",
+        }.get(self.kind, "error: Undefined Behavior")
+        location = f" --> src/main.rs:{self.span.line}:{self.span.col}" if self.span.line else ""
+        return f"{prefix}: {self.message}\n{location}".rstrip()
+
+
+class UbSignal(Exception):
+    """Raised inside the interpreter when UB is hit (stop-at-first mode)."""
+
+    def __init__(self, error: MiriError):
+        super().__init__(error.message)
+        self.error = error
+
+
+class PanicSignal(Exception):
+    """Raised for Rust panics (assert failures, overflow, OOB indexing)."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.error = MiriError(UbKind.PANIC, f"panicked: {message}", span)
+
+
+class InterpUnsupported(Exception):
+    """An operation the interpreter does not model (kills the run)."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.error = MiriError(UbKind.UNSUPPORTED, message, span)
+
+
+class CompileError(Exception):
+    """Front-end rejection (parse failure, safety check, bad transmute)."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.error = MiriError(UbKind.COMPILE, message, span)
+
+
+@dataclass
+class MiriReport:
+    """Outcome of one detector run over a program."""
+
+    errors: list[MiriError] = field(default_factory=list)
+    stdout: list[str] = field(default_factory=list)
+    steps: int = 0
+    #: True when the program ran to completion with no errors at all.
+    @property
+    def passed(self) -> bool:
+        return not self.errors
+
+    @property
+    def error_count(self) -> int:
+        return len(self.errors)
+
+    def categories(self) -> list[UbKind]:
+        return [e.kind for e in self.errors]
+
+    def has(self, kind: UbKind) -> bool:
+        return any(e.kind is kind for e in self.errors)
+
+    def first(self) -> MiriError | None:
+        return self.errors[0] if self.errors else None
+
+    def render(self) -> str:
+        if self.passed:
+            return "pass: no undefined behavior detected"
+        return "\n\n".join(e.render() for e in self.errors)

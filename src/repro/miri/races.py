@@ -1,0 +1,159 @@
+"""Happens-before data-race detection with vector clocks.
+
+The interpreter runs spawned threads eagerly at their spawn point, each in
+its own thread context with its own vector clock. Race detection does not
+require true interleaving: two accesses race iff they touch overlapping bytes,
+at least one is a write, and neither happens-before the other — which is a
+property of the spawn/join/lock edges alone (FastTrack-style).
+
+Happens-before edges modelled: spawn (parent → child start), join (child end
+→ parent), mutex release → subsequent acquire, atomic store → atomic load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.span import DUMMY_SPAN, Span
+from .errors import MiriError, UbKind
+
+
+class VectorClock:
+    """A mapping thread-id → logical time, with pointwise ordering."""
+
+    __slots__ = ("times",)
+
+    def __init__(self, times: dict[int, int] | None = None):
+        self.times = dict(times or {})
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.times)
+
+    def get(self, tid: int) -> int:
+        return self.times.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        self.times[tid] = self.get(tid) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, time in other.times.items():
+            if time > self.get(tid):
+                self.times[tid] = time
+
+    def dominates(self, tid: int, time: int) -> bool:
+        """True when event (tid, time) happens-before this clock."""
+        return self.get(tid) >= time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VC{self.times}"
+
+
+@dataclass
+class AccessRecord:
+    """Last write plus all reads-since-last-write for one byte."""
+
+    write: tuple[int, int, Span] | None = None  # (tid, time, span)
+    reads: dict[int, tuple[int, Span]] = field(default_factory=dict)
+
+
+class RaceError(Exception):
+    def __init__(self, error: MiriError):
+        super().__init__(error.message)
+        self.error = error
+
+
+class RaceDetector:
+    """Tracks per-(allocation, byte) access history and thread clocks."""
+
+    def __init__(self):
+        self.clocks: dict[int, VectorClock] = {0: VectorClock({0: 1})}
+        #: (alloc_id, offset) → AccessRecord
+        self.history: dict[tuple[int, int], AccessRecord] = {}
+        #: mutex/atomic id → release clock
+        self.sync_clocks: dict[int, VectorClock] = {}
+        self._next_tid = 1
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+
+    def spawn(self, parent_tid: int) -> int:
+        child = self._next_tid
+        self._next_tid += 1
+        parent_clock = self.clocks[parent_tid]
+        child_clock = parent_clock.copy()
+        child_clock.tick(child)
+        self.clocks[child] = child_clock
+        parent_clock.tick(parent_tid)
+        return child
+
+    def join(self, parent_tid: int, child_tid: int) -> None:
+        self.clocks[parent_tid].join(self.clocks[child_tid])
+        self.clocks[parent_tid].tick(parent_tid)
+
+    # ------------------------------------------------------------------
+    # Synchronisation objects (mutexes, atomics)
+
+    def acquire(self, tid: int, sync_id: int) -> None:
+        clock = self.sync_clocks.get(sync_id)
+        if clock is not None:
+            self.clocks[tid].join(clock)
+        self.clocks[tid].tick(tid)
+
+    def release(self, tid: int, sync_id: int) -> None:
+        self.sync_clocks[sync_id] = self.clocks[tid].copy()
+        self.clocks[tid].tick(tid)
+
+    # ------------------------------------------------------------------
+    # Data accesses
+
+    def _record(self, alloc_id: int, offset: int) -> AccessRecord:
+        key = (alloc_id, offset)
+        record = self.history.get(key)
+        if record is None:
+            record = AccessRecord()
+            self.history[key] = record
+        return record
+
+    def on_read(self, tid: int, alloc_id: int, offset: int, size: int,
+                span: Span = DUMMY_SPAN) -> None:
+        clock = self.clocks[tid]
+        for byte in range(offset, offset + size):
+            record = self._record(alloc_id, byte)
+            if record.write is not None:
+                wtid, wtime, wspan = record.write
+                if wtid != tid and not clock.dominates(wtid, wtime):
+                    raise RaceError(MiriError(
+                        UbKind.DATA_RACE,
+                        f"Data race detected between a read on thread {tid} "
+                        f"and a write on thread {wtid} (unsynchronized "
+                        f"accesses to the same location)",
+                        span,
+                    ))
+            record.reads[tid] = (clock.get(tid), span)
+
+    def on_write(self, tid: int, alloc_id: int, offset: int, size: int,
+                 span: Span = DUMMY_SPAN) -> None:
+        clock = self.clocks[tid]
+        for byte in range(offset, offset + size):
+            record = self._record(alloc_id, byte)
+            if record.write is not None:
+                wtid, wtime, _ = record.write
+                if wtid != tid and not clock.dominates(wtid, wtime):
+                    raise RaceError(MiriError(
+                        UbKind.DATA_RACE,
+                        f"Data race detected between a write on thread {tid} "
+                        f"and a write on thread {wtid} (unsynchronized "
+                        f"accesses to the same location)",
+                        span,
+                    ))
+            for rtid, (rtime, _) in record.reads.items():
+                if rtid != tid and not clock.dominates(rtid, rtime):
+                    raise RaceError(MiriError(
+                        UbKind.DATA_RACE,
+                        f"Data race detected between a write on thread {tid} "
+                        f"and a read on thread {rtid} (unsynchronized "
+                        f"accesses to the same location)",
+                        span,
+                    ))
+            record.write = (tid, clock.get(tid), span)
+            record.reads = {}

@@ -1,0 +1,116 @@
+"""Tests for the experiment-harness utilities."""
+
+import pytest
+
+from repro.bench.experiments import SystemResults, CaseResult, make_system
+from repro.bench.reporting import category_label, render_bars, render_table
+from repro.bench.stats import geometric_mean, mean, stdev, wilson_interval
+from repro.miri.errors import UbKind
+
+
+class TestStats:
+    def test_wilson_basic(self):
+        ci = wilson_interval(50, 100)
+        assert ci.rate == pytest.approx(0.5)
+        assert ci.low < 0.5 < ci.high
+
+    def test_wilson_zero_n(self):
+        ci = wilson_interval(0, 0)
+        assert ci.rate == 0.0 and ci.n == 0
+
+    def test_wilson_extremes_clamped(self):
+        full = wilson_interval(10, 10)
+        empty = wilson_interval(0, 10)
+        assert full.high == 1.0 and full.rate == 1.0
+        assert empty.low == 0.0 and empty.rate == 0.0
+
+    def test_wilson_narrower_with_more_samples(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_mean_stdev(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0
+        assert stdev([2, 2, 2]) == 0
+        assert stdev([1]) == 0
+        assert stdev([1, 3]) == pytest.approx(1.4142, abs=1e-3)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestReporting:
+    def test_render_table_aligns_columns(self):
+        table = render_table(["a", "b"], [["1", "22"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("b") == lines[2].index("22")
+
+    def test_render_bars(self):
+        text = render_bars({"x": 0.5, "y": 1.0}, width=10)
+        assert "#" in text
+        assert "100.0%" in text
+
+    def test_category_labels_match_paper(self):
+        assert category_label(UbKind.DANGLING_POINTER) == "danglingpointer"
+        assert category_label(UbKind.FUNC_CALL) == "func.call"
+        assert category_label(UbKind.ALLOC) == "alloc"
+
+
+class TestSystemResults:
+    def _result(self, category, passed, acceptable, seconds=10.0):
+        return CaseResult(
+            case="c", category=category, passed=passed,
+            acceptable=acceptable, seconds=seconds, tokens=100, llm_calls=2,
+            used_knowledge_base=False, used_feedback=False,
+            hallucinations=0, rollbacks=0, solutions_tried=1)
+
+    def test_rates(self):
+        results = SystemResults("sys")
+        results.results = [
+            self._result(UbKind.ALLOC, True, True),
+            self._result(UbKind.ALLOC, True, False),
+            self._result(UbKind.PANIC, False, False),
+            self._result(UbKind.PANIC, True, True),
+        ]
+        assert results.pass_rate() == pytest.approx(0.75)
+        assert results.exec_rate() == pytest.approx(0.5)
+
+    def test_by_category(self):
+        results = SystemResults("sys")
+        results.results = [
+            self._result(UbKind.ALLOC, True, True),
+            self._result(UbKind.PANIC, False, False),
+        ]
+        grouped = results.category_pass_rates()
+        assert grouped[UbKind.ALLOC] == 1.0
+        assert grouped[UbKind.PANIC] == 0.0
+
+    def test_empty_results(self):
+        results = SystemResults("sys")
+        assert results.pass_rate() == 0.0
+        assert results.exec_rate() == 0.0
+
+
+class TestMakeSystem:
+    def test_known_kinds(self):
+        for kind in ("llm_only", "rustassistant", "rustbrain",
+                     "rustbrain_nokb", "rustbrain_nofeedback",
+                     "rustbrain_norollback", "rustbrain_initial_rollback",
+                     "rustbrain_nopruning"):
+            system = make_system(kind, "gpt-4", seed=1)
+            assert hasattr(system, "repair")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_system("quantum", "gpt-4")
+
+    def test_overrides_applied(self):
+        system = make_system("rustbrain", "gpt-4", n_solutions=3)
+        assert system.config.n_solutions == 3
+
+    def test_nokb_has_no_kb(self):
+        system = make_system("rustbrain_nokb", "gpt-4")
+        assert system.kb is None

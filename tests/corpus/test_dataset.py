@@ -1,0 +1,98 @@
+"""Corpus validation: every case's ground truth must actually hold.
+
+These tests are the contract the benchmarks rely on: buggy sources trigger
+their labelled UB category, developer fixes pass, and every listed repair
+strategy genuinely repairs the program (with the advertised exactness).
+"""
+
+import pytest
+
+from repro.core.rewrites import REGISTRY, apply_rule
+from repro.corpus.dataset import load_dataset
+from repro.lang import parse_program, print_program
+from repro.miri import detect_ub
+from repro.miri.errors import PAPER_CATEGORIES, UbKind
+
+DATASET = load_dataset()
+ALL_CASES = list(DATASET)
+IDS = [case.name for case in ALL_CASES]
+
+
+class TestDatasetShape:
+    def test_all_paper_categories_present(self):
+        present = set(DATASET.categories())
+        for category in PAPER_CATEGORIES:
+            assert category in present, f"missing category {category}"
+
+    def test_each_category_has_multiple_cases(self):
+        for category in PAPER_CATEGORIES:
+            assert len(DATASET.by_category(category)) >= 3, category
+
+    def test_case_names_unique(self):
+        names = [case.name for case in DATASET]
+        assert len(names) == len(set(names))
+
+    def test_dataset_size(self):
+        assert len(DATASET) >= 70
+
+    def test_get_by_name(self):
+        case = DATASET.get(ALL_CASES[0].name)
+        assert case is ALL_CASES[0]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DATASET.get("no_such_case")
+
+    def test_subset(self):
+        sub = DATASET.subset([UbKind.PANIC])
+        assert len(sub) > 0
+        assert all(case.category is UbKind.PANIC for case in sub)
+
+    def test_all_strategies_reference_registered_rules(self):
+        for case in DATASET:
+            for strategy in case.strategies:
+                assert strategy.rule in REGISTRY, \
+                    f"{case.name} references unknown rule {strategy.rule}"
+
+    def test_every_case_has_a_strategy(self):
+        for case in DATASET:
+            assert case.strategies, case.name
+
+    def test_difficulties_in_range(self):
+        for case in DATASET:
+            assert 1 <= case.difficulty <= 5
+
+
+@pytest.mark.parametrize("case", ALL_CASES, ids=IDS)
+class TestCaseGroundTruth:
+    def test_buggy_triggers_labelled_category(self, case):
+        report = detect_ub(case.source)
+        assert not report.passed, f"{case.name}: buggy source passed"
+        got = report.errors[0].kind
+        if case.category is UbKind.TAIL_CALL:
+            # Tail-call misuse surfaces as a function-pointer/call error.
+            assert got in (UbKind.TAIL_CALL, UbKind.FUNC_POINTER,
+                           UbKind.FUNC_CALL), report.render()
+        else:
+            assert got is case.category, report.render()
+
+    def test_developer_fix_passes(self, case):
+        report = detect_ub(case.fixed_source)
+        assert report.passed, f"{case.name}: {report.render()}"
+
+    def test_strategies_repair_the_program(self, case):
+        program = parse_program(case.source)
+        reference = detect_ub(case.fixed_source)
+        for strategy in case.strategies:
+            repaired = apply_rule(program, strategy.rule)
+            assert repaired is not None, \
+                f"{case.name}: {strategy.rule} inapplicable"
+            report = detect_ub(print_program(repaired))
+            assert report.passed, \
+                f"{case.name}: {strategy.rule} left errors: {report.render()}"
+            if strategy.exact:
+                assert report.stdout == reference.stdout, \
+                    f"{case.name}: {strategy.rule} changed observable output"
+            else:
+                assert report.stdout != reference.stdout, \
+                    f"{case.name}: {strategy.rule} marked inexact but matches"

@@ -1,0 +1,129 @@
+"""Printer tests: rendering and parse→print→parse stability."""
+
+import pytest
+
+from repro.lang import parse_expr, parse_program, print_expr, print_program
+
+
+def roundtrip(source):
+    """print(parse(print(parse(src)))) must be a fixed point."""
+    once = print_program(parse_program(source))
+    twice = print_program(parse_program(once))
+    assert once == twice
+    return once
+
+
+class TestExprPrinting:
+    @pytest.mark.parametrize("source,expected", [
+        ("1 + 2 * 3", "1 + 2 * 3"),
+        ("(1 + 2) * 3", "(1 + 2) * 3"),
+        ("x as usize", "x as usize"),
+        ("p as *const i32 as usize", "p as *const i32 as usize"),
+        ("*p", "*p"),
+        ("&mut x", "&mut x"),
+        ("!flag", "!flag"),
+        ("-x", "-x"),
+        ("a.b.c", "a.b.c"),
+        ("arr[0]", "arr[0]"),
+        ("t.0", "t.0"),
+        ("f(1, 2)", "f(1, 2)"),
+        ("v.push(1)", "v.push(1)"),
+        ("0..10", "0..10"),
+        ("0..=10", "0..=10"),
+        ("[1, 2, 3]", "[1, 2, 3]"),
+        ("[0u8; 4]", "[0u8; 4]"),
+        ("(1, 2)", "(1, 2)"),
+        ("()", "()"),
+        ("true", "true"),
+        ('"hi"', '"hi"'),
+        ("x = y", "x = y"),
+        ("x += 1", "x += 1"),
+        ("vec![1, 2]", "vec![1, 2]"),
+        ("assert!(x > 0)", "assert!(x > 0)"),
+    ])
+    def test_expression_rendering(self, source, expected):
+        assert print_expr(parse_expr(source)) == expected
+
+    def test_turbofish_preserved(self):
+        text = print_expr(parse_expr("mem::transmute::<&i32, usize>(p)"))
+        assert text == "mem::transmute::<&i32, usize>(p)"
+
+    def test_precedence_parens_inserted(self):
+        # A tree built as (a + b) * c must print with parens.
+        from repro.lang import ast_nodes as ast
+        tree = ast.Binary("*", parse_expr("a + b"), parse_expr("c"))
+        assert print_expr(tree) == "(a + b) * c"
+
+    def test_nested_generics_printed_with_spacing(self):
+        out = print_program(parse_program("fn main() { let v: Vec<Vec<i32>> = Vec::new(); }"))
+        assert "Vec<Vec<i32>>" in out
+
+
+class TestProgramRoundtrip:
+    def test_simple_fn(self):
+        out = roundtrip("fn main() { let x = 1; }")
+        assert "fn main() {" in out
+        assert "let x = 1;" in out
+
+    def test_unsafe_block_statement(self):
+        out = roundtrip("fn main() { unsafe { *p; } }")
+        assert "unsafe {" in out
+
+    def test_unsafe_block_as_initializer(self):
+        out = roundtrip("fn main() { let x = unsafe { *p }; }")
+        assert "unsafe { *p }" in out
+
+    def test_if_else_chain(self):
+        out = roundtrip(
+            "fn main() { if a { x(); } else if b { y(); } else { z(); } }"
+        )
+        assert "} else if b {" in out
+
+    def test_static_mut(self):
+        out = roundtrip("static mut G: usize = 0;\nfn main() { }")
+        assert "static mut G: usize = 0;" in out
+
+    def test_struct_and_literal(self):
+        out = roundtrip(
+            "struct P { x: i32, y: i32 }\n"
+            "fn main() { let p = P { x: 1, y: 2 }; }"
+        )
+        assert "P { x: 1, y: 2 }" in out
+
+    def test_union(self):
+        out = roundtrip("union B { i: i32, u: u32 }\nfn main() { }")
+        assert "union B {" in out
+
+    def test_threads_and_closures(self):
+        out = roundtrip(
+            "fn main() { let h = std::thread::spawn(move || { work(); }); h.join(); }"
+        )
+        assert "move ||" in out
+
+    def test_for_while_loop(self):
+        out = roundtrip(
+            "fn main() { for i in 0..3 { } while x { } loop { break; } }"
+        )
+        assert "for i in 0..3 {" in out
+
+    def test_full_ub_program(self):
+        source = """
+use std::mem;
+fn main() {
+    let p = &0;
+    let addr = unsafe { mem::transmute::<&i32, usize>(p) };
+    let q = addr as *const i32;
+    let v = unsafe { *q };
+    println!("{}", v);
+}
+"""
+        out = roundtrip(source)
+        assert "mem::transmute::<&i32, usize>(p)" in out
+
+    def test_function_with_params_and_ret(self):
+        out = roundtrip("fn add(a: i32, b: i32) -> i32 { a + b }")
+        assert "fn add(a: i32, b: i32) -> i32 {" in out
+
+    def test_unsafe_fn_item(self):
+        out = roundtrip("unsafe fn f(p: *mut u8) { }")
+        assert "unsafe fn f(p: *mut u8) {" in out

@@ -1,0 +1,120 @@
+"""Layout and integer-semantics tests for the type model."""
+
+import pytest
+
+from repro.lang import types as ty
+
+
+class TestIntSemantics:
+    def test_ranges(self):
+        assert ty.I8.min_value == -128
+        assert ty.I8.max_value == 127
+        assert ty.U8.min_value == 0
+        assert ty.U8.max_value == 255
+        assert ty.I32.max_value == 2**31 - 1
+        assert ty.USIZE.max_value == 2**64 - 1
+
+    def test_wrap_unsigned(self):
+        assert ty.U8.wrap(256) == 0
+        assert ty.U8.wrap(257) == 1
+        assert ty.U8.wrap(-1) == 255
+
+    def test_wrap_signed(self):
+        assert ty.I8.wrap(128) == -128
+        assert ty.I8.wrap(-129) == 127
+        assert ty.I32.wrap(2**31) == -(2**31)
+
+    def test_in_range(self):
+        assert ty.I8.in_range(127)
+        assert not ty.I8.in_range(128)
+        assert not ty.U8.in_range(-1)
+
+    def test_names(self):
+        assert ty.USIZE.name == "usize"
+        assert ty.ISIZE.name == "isize"
+        assert ty.I32.name == "i32"
+
+
+class TestLayout:
+    def test_scalar_sizes(self):
+        assert ty.size_of(ty.I8) == 1
+        assert ty.size_of(ty.I32) == 4
+        assert ty.size_of(ty.U64) == 8
+        assert ty.size_of(ty.BOOL) == 1
+        assert ty.size_of(ty.CHAR) == 4
+        assert ty.size_of(ty.UNIT) == 0
+
+    def test_pointer_sizes(self):
+        assert ty.size_of(ty.TyRef(ty.I32, False)) == 8
+        assert ty.size_of(ty.TyRawPtr(ty.U8, True)) == 8
+        assert ty.size_of(ty.TyFn((), ty.UNIT)) == 8
+
+    def test_fat_pointer(self):
+        assert ty.size_of(ty.TyRef(ty.TySlice(ty.U8), False)) == 16
+
+    def test_array_layout(self):
+        arr = ty.TyArray(ty.I32, 4)
+        assert ty.size_of(arr) == 16
+        assert ty.align_of(arr) == 4
+
+    def test_tuple_padding(self):
+        # (u8, u32) pads to alignment 4 → size 8.
+        tup = ty.TyTuple((ty.U8, ty.U32))
+        assert ty.size_of(tup) == 8
+        assert ty.align_of(tup) == 4
+
+    def test_vec_is_three_words(self):
+        assert ty.size_of(ty.TyPath("Vec", (ty.I32,))) == 24
+
+    def test_box_is_one_word(self):
+        assert ty.size_of(ty.TyPath("Box", (ty.I64,))) == 8
+
+    def test_maybe_uninit_matches_inner(self):
+        assert ty.size_of(ty.TyPath("MaybeUninit", (ty.U16,))) == 2
+        assert ty.align_of(ty.TyPath("MaybeUninit", (ty.U16,))) == 2
+
+    def test_option_niche(self):
+        opt_ref = ty.TyPath("Option", (ty.TyRef(ty.I32, False),))
+        assert ty.size_of(opt_ref) == 8
+
+    def test_unknown_named_type_raises(self):
+        with pytest.raises(ty.LayoutError):
+            ty.size_of(ty.TyPath("Mystery"))
+
+
+class TestStructLayout:
+    def test_struct_field_offsets(self):
+        layout = ty.StructLayout.for_struct(
+            "S", [("a", ty.U8), ("b", ty.U32), ("c", ty.U8)]
+        )
+        assert layout.field_offsets == (0, 4, 8)
+        assert layout.size == 12
+        assert layout.align == 4
+
+    def test_union_layout_overlaps(self):
+        layout = ty.StructLayout.for_union("U", [("i", ty.I32), ("b", ty.U8)])
+        assert layout.field_offsets == (0, 0)
+        assert layout.size == 4
+        assert layout.is_union
+
+    def test_offset_and_type_lookup(self):
+        layout = ty.StructLayout.for_struct("S", [("x", ty.I32), ("y", ty.I64)])
+        assert layout.offset_of("y") == 8
+        assert layout.type_of("x") == ty.I32
+
+    def test_nested_struct_layout(self):
+        inner = ty.StructLayout.for_struct("Inner", [("v", ty.I64)])
+        table = {"Inner": inner}
+        outer = ty.StructLayout.for_struct(
+            "Outer", [("a", ty.U8), ("b", ty.TyPath("Inner"))], table
+        )
+        assert outer.field_offsets == (0, 8)
+        assert outer.size == 16
+
+    def test_type_str_rendering(self):
+        assert str(ty.TyRef(ty.I32, True)) == "&mut i32"
+        assert str(ty.TyRawPtr(ty.U8, False)) == "*const u8"
+        assert str(ty.TyArray(ty.U8, 3)) == "[u8; 3]"
+        assert str(ty.TyPath("Vec", (ty.I32,))) == "Vec<i32>"
+        assert str(ty.TyTuple((ty.I32,))) == "(i32,)"
+        assert str(ty.TyFn((ty.I32,), ty.I32)) == "fn(i32) -> i32"

@@ -1,0 +1,128 @@
+"""Tests for the simulated-LLM client, profiles, sampling and tokenizer."""
+
+import pytest
+
+from repro.llm.client import ContextOverflow, LLMClient, VirtualClock
+from repro.llm.profiles import PROFILES, get_profile
+from repro.llm.sampling import (
+    diversity_count,
+    exploration_factor,
+    fidelity_factor,
+    hallucination_factor,
+)
+from repro.llm.tokenizer import count_tokens, exceeds_context
+
+
+class TestProfiles:
+    def test_all_four_models_present(self):
+        assert set(PROFILES) == {"gpt-3.5", "gpt-4", "claude-3.5", "gpt-o1"}
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("gpt-9")
+
+    def test_gpt4_stronger_than_gpt35(self):
+        weak, strong = get_profile("gpt-3.5"), get_profile("gpt-4")
+        assert strong.repair_skill > weak.repair_skill
+        assert strong.feature_accuracy > weak.feature_accuracy
+        assert strong.hallucination_rate < weak.hallucination_rate
+
+    def test_o1_has_panic_weakness(self):
+        from repro.miri.errors import UbKind
+        o1 = get_profile("gpt-o1")
+        assert o1.category_skill.get(UbKind.PANIC, 1.0) < 0.7
+
+    def test_skill_for_applies_difficulty_penalty(self):
+        from repro.miri.errors import UbKind
+        profile = get_profile("gpt-4")
+        easy = profile.skill_for(UbKind.ALLOC, 1)
+        hard = profile.skill_for(UbKind.ALLOC, 5)
+        assert hard < easy
+
+
+class TestSampling:
+    def test_exploration_peaks_at_half(self):
+        assert exploration_factor(0.5) > exploration_factor(0.1)
+        assert exploration_factor(0.5) > exploration_factor(0.9)
+
+    def test_exploration_symmetric(self):
+        assert exploration_factor(0.2) == pytest.approx(exploration_factor(0.8))
+
+    def test_fidelity_decreases_with_temperature(self):
+        assert fidelity_factor(0.1) > fidelity_factor(0.9)
+
+    def test_hallucination_increases_with_temperature(self):
+        assert hallucination_factor(0.9) > hallucination_factor(0.1)
+
+    def test_diversity_scales_with_temperature(self):
+        assert diversity_count(0.9, 10) >= diversity_count(0.1, 10)
+        assert diversity_count(0.1, 10) >= 1
+
+    def test_clamping(self):
+        assert exploration_factor(-1) == exploration_factor(0)
+        assert exploration_factor(2) == exploration_factor(1)
+
+
+class TestTokenizer:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_monotone_in_length(self):
+        assert count_tokens("a" * 400) > count_tokens("a" * 40)
+
+    def test_context_limit(self):
+        assert not exceeds_context("short prompt")
+        assert exceeds_context("word " * 100_000)
+
+
+class TestClient:
+    def test_charge_advances_clock(self):
+        client = LLMClient("gpt-4", seed=1)
+        client.charge("task", "prompt text")
+        assert client.clock.elapsed > 0
+        assert client.stats.call_count == 1
+
+    def test_latency_scales_with_tokens(self):
+        fast = LLMClient("gpt-4", seed=1)
+        slow = LLMClient("gpt-4", seed=1)
+        fast.charge("t", "short")
+        slow.charge("t", "long " * 2000)
+        assert slow.clock.elapsed > fast.clock.elapsed
+
+    def test_context_overflow_raises(self):
+        client = LLMClient("gpt-4", seed=1, context_limit=100)
+        with pytest.raises(ContextOverflow):
+            client.charge("t", "word " * 1000)
+
+    def test_rng_deterministic_per_call_index(self):
+        a = LLMClient("gpt-4", seed=7)
+        b = LLMClient("gpt-4", seed=7)
+        ra = a.charge("t", "x").random()
+        rb = b.charge("t", "x").random()
+        assert ra == rb
+
+    def test_rng_differs_across_calls(self):
+        client = LLMClient("gpt-4", seed=7)
+        first = client.charge("t", "x").random()
+        second = client.charge("t", "x").random()
+        assert first != second
+
+    def test_rng_differs_across_seeds(self):
+        a = LLMClient("gpt-4", seed=1).charge("t", "x").random()
+        b = LLMClient("gpt-4", seed=2).charge("t", "x").random()
+        assert a != b
+
+    def test_shared_clock(self):
+        clock = VirtualClock()
+        a = LLMClient("gpt-4", seed=1, clock=clock)
+        b = LLMClient("gpt-4", seed=2, clock=clock)
+        a.charge("t", "x")
+        b.charge("t", "x")
+        assert clock.elapsed == pytest.approx(
+            a.stats.total_latency + b.stats.total_latency)
+
+    def test_fork_independent_stream(self):
+        client = LLMClient("gpt-4", seed=1)
+        fork = client.fork()
+        assert fork.seed != client.seed
+        assert fork.clock is client.clock

@@ -1,0 +1,248 @@
+"""Unit tests for the byte-level memory model."""
+
+import pytest
+
+from repro.lang import types as ty
+from repro.miri.errors import UbKind, UbSignal
+from repro.miri.memory import AllocKind, Memory
+from repro.miri.values import VAggregate, VBool, VChar, VInt, VPtr
+
+
+def make_memory():
+    return Memory()
+
+
+def stack_alloc(memory, size=16, align=8):
+    return memory.allocate(size, align, AllocKind.STACK, "test")
+
+
+def place(alloc, pointee, offset=0, mutable=True):
+    return VPtr(alloc.id, alloc.base_addr + offset, alloc.base_tag, pointee,
+                mutable=mutable)
+
+
+class TestAllocation:
+    def test_addresses_are_aligned(self):
+        memory = make_memory()
+        for align in (1, 2, 4, 8, 16):
+            alloc = memory.allocate(8, align, AllocKind.STACK)
+            assert alloc.base_addr % align == 0
+
+    def test_addresses_never_overlap(self):
+        memory = make_memory()
+        a = memory.allocate(64, 8, AllocKind.HEAP)
+        b = memory.allocate(64, 8, AllocKind.HEAP)
+        assert a.base_addr + a.size <= b.base_addr or \
+               b.base_addr + b.size <= a.base_addr
+
+    def test_fresh_allocation_is_uninit(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory)
+        assert all(b == 0 for b in alloc.init)
+
+    def test_double_free_detected(self):
+        memory = make_memory()
+        alloc = memory.allocate(8, 8, AllocKind.HEAP)
+        memory.deallocate(alloc.id)
+        with pytest.raises(UbSignal) as err:
+            memory.deallocate(alloc.id)
+        assert err.value.error.kind is UbKind.ALLOC
+
+    def test_dealloc_stack_memory_rejected(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory)
+        with pytest.raises(UbSignal) as err:
+            memory.deallocate(alloc.id)
+        assert err.value.error.kind is UbKind.ALLOC
+
+    def test_dealloc_wrong_size_rejected(self):
+        memory = make_memory()
+        alloc = memory.allocate(8, 8, AllocKind.HEAP)
+        with pytest.raises(UbSignal) as err:
+            memory.deallocate(alloc.id, expected_size=16)
+        assert "incorrect layout" in err.value.error.message
+
+    def test_dealloc_wrong_align_rejected(self):
+        memory = make_memory()
+        alloc = memory.allocate(8, 8, AllocKind.HEAP)
+        with pytest.raises(UbSignal) as err:
+            memory.deallocate(alloc.id, expected_align=16)
+        assert err.value.error.kind is UbKind.ALLOC
+
+
+class TestReadWrite:
+    def test_int_roundtrip(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory)
+        p = place(alloc, ty.I32)
+        data, relocs = memory.encode(VInt(-7, ty.I32), ty.I32)
+        memory.write_bytes(p, data, relocs, 4, tid=0)
+        out, relocs = memory.read_bytes(p, 4, 4, tid=0)
+        value = memory.decode(out, relocs, ty.I32)
+        assert value == VInt(-7, ty.I32)
+
+    def test_uninit_read_rejected(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory)
+        p = place(alloc, ty.I32)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(p, 4, 4, tid=0)
+        assert err.value.error.kind is UbKind.UNINIT
+
+    def test_partial_init_read_rejected(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory)
+        byte_place = place(alloc, ty.U8)
+        data, _ = memory.encode(VInt(1, ty.U8), ty.U8)
+        memory.write_bytes(byte_place, data, {}, 1, tid=0)
+        whole = place(alloc, ty.U32)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(whole, 4, 4, tid=0)
+        assert err.value.error.kind is UbKind.UNINIT
+
+    def test_out_of_bounds_read(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory, size=4)
+        beyond = VPtr(alloc.id, alloc.base_addr + 4, alloc.base_tag, ty.I32,
+                      mutable=True)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(beyond, 4, 1, tid=0)
+        assert err.value.error.kind is UbKind.DANGLING_POINTER
+
+    def test_freed_read_is_dangling(self):
+        memory = make_memory()
+        alloc = memory.allocate(8, 8, AllocKind.HEAP)
+        p = place(alloc, ty.I64)
+        data, _ = memory.encode(VInt(1, ty.I64), ty.I64)
+        memory.write_bytes(p, data, {}, 8, tid=0)
+        memory.deallocate(alloc.id)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(p, 8, 8, tid=0)
+        assert err.value.error.kind is UbKind.DANGLING_POINTER
+
+    def test_unaligned_access_rejected(self):
+        memory = make_memory()
+        alloc = stack_alloc(memory, size=16, align=8)
+        data, _ = memory.encode(VInt(0, ty.U64), ty.U64)
+        memory.write_bytes(place(alloc, ty.U64), data, {}, 8, tid=0)
+        odd = VPtr(alloc.id, alloc.base_addr + 1, alloc.base_tag, ty.U32,
+                   mutable=True)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(odd, 4, 4, tid=0)
+        assert err.value.error.kind is UbKind.UNALIGNED
+
+    def test_no_provenance_access_rejected(self):
+        memory = make_memory()
+        forged = VPtr(None, 0x1234, None, ty.I32, mutable=True)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(forged, 4, 4, tid=0)
+        assert err.value.error.kind is UbKind.PROVENANCE
+
+    def test_null_access_is_dangling(self):
+        memory = make_memory()
+        null = VPtr(None, 0, None, ty.I32, mutable=True)
+        with pytest.raises(UbSignal) as err:
+            memory.read_bytes(null, 4, 4, tid=0)
+        assert err.value.error.kind is UbKind.DANGLING_POINTER
+
+
+class TestProvenance:
+    def test_pointer_roundtrip_keeps_provenance(self):
+        memory = make_memory()
+        target = stack_alloc(memory)
+        holder = stack_alloc(memory, size=8)
+        pointer = VPtr(target.id, target.base_addr, target.base_tag, ty.I32,
+                       mutable=True)
+        ptr_ty = ty.TyRawPtr(ty.I32, True)
+        data, relocs = memory.encode(pointer, ptr_ty)
+        memory.write_bytes(place(holder, ptr_ty), data, relocs, 8, tid=0)
+        out, out_relocs = memory.read_bytes(place(holder, ptr_ty), 8, 8, tid=0)
+        decoded = memory.decode(out, out_relocs, ptr_ty)
+        assert decoded.alloc_id == target.id
+        assert decoded.tag == target.base_tag
+
+    def test_int_write_clobbers_relocation(self):
+        memory = make_memory()
+        target = stack_alloc(memory)
+        holder = stack_alloc(memory, size=8)
+        pointer = VPtr(target.id, target.base_addr, target.base_tag, ty.I32)
+        ptr_ty = ty.TyRawPtr(ty.I32, False)
+        data, relocs = memory.encode(pointer, ptr_ty)
+        memory.write_bytes(place(holder, ptr_ty), data, relocs, 8, tid=0)
+        # Overwrite the first byte with an integer: provenance must die.
+        memory.write_bytes(place(holder, ty.U8), b"\x01", {}, 1, tid=0)
+        out, out_relocs = memory.read_bytes(place(holder, ptr_ty), 8, 8, tid=0)
+        decoded = memory.decode(out, out_relocs, ptr_ty)
+        assert decoded.alloc_id is None
+
+    def test_decoding_ref_without_provenance_is_validity_error(self):
+        memory = make_memory()
+        data = (0x1234).to_bytes(8, "little")
+        with pytest.raises(UbSignal) as err:
+            memory.decode(data, {}, ty.TyRef(ty.I32, False))
+        assert err.value.error.kind is UbKind.VALIDITY
+
+    def test_decoding_null_ref_is_validity_error(self):
+        memory = make_memory()
+        with pytest.raises(UbSignal) as err:
+            memory.decode(b"\x00" * 8, {}, ty.TyRef(ty.I32, False))
+        assert "null reference" in err.value.error.message
+
+
+class TestDecodeValidity:
+    def test_bool_from_2_is_invalid(self):
+        memory = make_memory()
+        with pytest.raises(UbSignal) as err:
+            memory.decode(b"\x02", {}, ty.BOOL)
+        assert err.value.error.kind is UbKind.VALIDITY
+
+    def test_bool_from_0_and_1_valid(self):
+        memory = make_memory()
+        assert memory.decode(b"\x00", {}, ty.BOOL) == VBool(False)
+        assert memory.decode(b"\x01", {}, ty.BOOL) == VBool(True)
+
+    def test_char_surrogate_is_invalid(self):
+        memory = make_memory()
+        data = (0xD800).to_bytes(4, "little")
+        with pytest.raises(UbSignal) as err:
+            memory.decode(data, {}, ty.CHAR)
+        assert err.value.error.kind is UbKind.VALIDITY
+
+    def test_char_valid_scalar(self):
+        memory = make_memory()
+        data = ord("A").to_bytes(4, "little")
+        assert memory.decode(data, {}, ty.CHAR) == VChar("A")
+
+    def test_aggregate_roundtrip(self):
+        memory = make_memory()
+        tup_ty = ty.TyTuple((ty.U8, ty.U32))
+        value = VAggregate(tup_ty, (VInt(7, ty.U8), VInt(1000, ty.U32)))
+        data, relocs = memory.encode(value, tup_ty)
+        decoded = memory.decode(data, relocs, tup_ty)
+        assert decoded.elems[0].value == 7
+        assert decoded.elems[1].value == 1000
+
+    def test_array_roundtrip(self):
+        memory = make_memory()
+        arr_ty = ty.TyArray(ty.I16, 3)
+        value = VAggregate(arr_ty, tuple(VInt(i, ty.I16) for i in (1, -2, 3)))
+        data, relocs = memory.encode(value, arr_ty)
+        decoded = memory.decode(data, relocs, arr_ty)
+        assert [e.value for e in decoded.elems] == [1, -2, 3]
+
+
+class TestFnAddrs:
+    def test_fn_addr_stable(self):
+        memory = make_memory()
+        a1 = memory.fn_addr("foo")
+        a2 = memory.fn_addr("foo")
+        assert a1 == a2
+
+    def test_fn_addr_distinct(self):
+        memory = make_memory()
+        assert memory.fn_addr("foo") != memory.fn_addr("bar")
+
+    def test_reverse_lookup(self):
+        memory = make_memory()
+        addr = memory.fn_addr("foo")
+        assert memory.fns_by_addr[addr] == "foo"

@@ -1,0 +1,114 @@
+"""Unit tests for vector-clock data-race detection."""
+
+import pytest
+
+from repro.miri.races import RaceDetector, RaceError, VectorClock
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        clock = VectorClock()
+        assert clock.get(0) == 0
+        clock.tick(0)
+        assert clock.get(0) == 1
+
+    def test_join_takes_pointwise_max(self):
+        a = VectorClock({0: 3, 1: 1})
+        b = VectorClock({0: 1, 1: 5, 2: 2})
+        a.join(b)
+        assert a.times == {0: 3, 1: 5, 2: 2}
+
+    def test_dominates(self):
+        clock = VectorClock({0: 3})
+        assert clock.dominates(0, 2)
+        assert clock.dominates(0, 3)
+        assert not clock.dominates(0, 4)
+        assert not clock.dominates(1, 1)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1
+
+
+class TestRaceDetection:
+    def test_same_thread_never_races(self):
+        det = RaceDetector()
+        det.on_write(0, 1, 0, 4)
+        det.on_read(0, 1, 0, 4)
+        det.on_write(0, 1, 0, 4)
+
+    def test_parent_before_spawn_is_ordered(self):
+        det = RaceDetector()
+        det.on_write(0, 1, 0, 4)
+        child = det.spawn(0)
+        det.on_read(child, 1, 0, 4)  # ordered by the spawn edge
+
+    def test_unsynchronized_write_write_races(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_write(child, 1, 0, 4)
+        with pytest.raises(RaceError):
+            det.on_write(0, 1, 0, 4)
+
+    def test_unsynchronized_read_write_races(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_read(child, 1, 0, 4)
+        with pytest.raises(RaceError):
+            det.on_write(0, 1, 0, 4)
+
+    def test_write_then_concurrent_read_races(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_write(child, 1, 0, 4)
+        with pytest.raises(RaceError):
+            det.on_read(0, 1, 0, 4)
+
+    def test_join_establishes_order(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_write(child, 1, 0, 4)
+        det.join(0, child)
+        det.on_write(0, 1, 0, 4)  # no race after join
+
+    def test_disjoint_bytes_do_not_race(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_write(child, 1, 0, 4)
+        det.on_write(0, 1, 4, 4)  # different bytes
+
+    def test_different_allocations_do_not_race(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_write(child, 1, 0, 4)
+        det.on_write(0, 2, 0, 4)
+
+    def test_mutex_acquire_release_orders_accesses(self):
+        det = RaceDetector()
+        child = det.spawn(0)
+        # Child writes under the lock, then releases.
+        det.acquire(child, 99)
+        det.on_write(child, 1, 0, 4)
+        det.release(child, 99)
+        # Parent acquires the same lock: child's write is now ordered.
+        det.acquire(0, 99)
+        det.on_write(0, 1, 0, 4)
+
+    def test_two_children_race_with_each_other(self):
+        det = RaceDetector()
+        c1 = det.spawn(0)
+        c2 = det.spawn(0)
+        det.on_write(c1, 1, 0, 1)
+        with pytest.raises(RaceError):
+            det.on_write(c2, 1, 0, 1)
+
+    def test_race_error_carries_datarace_kind(self):
+        from repro.miri.errors import UbKind
+        det = RaceDetector()
+        child = det.spawn(0)
+        det.on_write(child, 1, 0, 1)
+        with pytest.raises(RaceError) as err:
+            det.on_write(0, 1, 0, 1)
+        assert err.value.error.kind is UbKind.DATA_RACE

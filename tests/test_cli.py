@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.rs"
+    path.write_text('''
+fn main() {
+    let mu: MaybeUninit<i32> = MaybeUninit::uninit();
+    let v = unsafe { mu.assume_init() };
+    println!("{}", v);
+}
+''')
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.rs"
+    path.write_text('fn main() { println!("ok"); }\n')
+    return str(path)
+
+
+class TestDetect:
+    def test_clean_program_exit_zero(self, clean_file, capsys):
+        assert main(["detect", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "pass" in out
+
+    def test_buggy_program_exit_one(self, buggy_file, capsys):
+        assert main(["detect", buggy_file]) == 1
+        out = capsys.readouterr().out
+        assert "Undefined Behavior" in out
+
+    def test_collect_flag(self, buggy_file):
+        assert main(["detect", buggy_file, "--collect"]) == 1
+
+
+class TestRepair:
+    def test_repairs_buggy_file(self, buggy_file, capsys):
+        code = main(["repair", buggy_file, "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASSED" in out
+
+    def test_clean_file_passes_through(self, clean_file):
+        assert main(["repair", clean_file]) == 0
+
+    def test_no_kb_flag(self, buggy_file):
+        assert main(["repair", buggy_file, "--no-kb", "--seed", "3"]) in (0, 1)
+
+
+class TestDataset:
+    def test_lists_cases(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "117 cases" in out
+
+    def test_category_filter(self, capsys):
+        assert main(["dataset", "--category", "panic"]) == 0
+        out = capsys.readouterr().out
+        assert "panic" in out
+        assert "datarace" not in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_bench_name(self, capsys):
+        assert main(["bench", "fig99"]) == 2

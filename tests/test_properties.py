@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.stats import wilson_interval
+from repro.core.knowledge import cosine, vectorize
+from repro.lang import parse_expr, parse_program, print_expr, print_program
+from repro.lang import types as ty
+from repro.miri.borrows import BorrowError, BorrowStack
+from repro.miri.races import VectorClock
+
+# ---------------------------------------------------------------------------
+# Integer semantics
+
+int_types = st.sampled_from([ty.I8, ty.I16, ty.I32, ty.I64,
+                             ty.U8, ty.U16, ty.U32, ty.U64, ty.USIZE])
+
+
+@given(int_types, st.integers(-2**70, 2**70))
+def test_wrap_lands_in_range(int_ty, value):
+    wrapped = int_ty.wrap(value)
+    assert int_ty.min_value <= wrapped <= int_ty.max_value
+
+
+@given(int_types, st.integers(-2**70, 2**70))
+def test_wrap_idempotent(int_ty, value):
+    once = int_ty.wrap(value)
+    assert int_ty.wrap(once) == once
+
+
+@given(int_types, st.integers(-2**70, 2**70))
+def test_wrap_congruent_modulo_2_pow_bits(int_ty, value):
+    wrapped = int_ty.wrap(value)
+    assert (wrapped - value) % (1 << int_ty.bits) == 0
+
+
+# ---------------------------------------------------------------------------
+# Expression round-trips
+
+_expr_leaf = st.one_of(
+    st.integers(0, 10_000).map(lambda n: str(n)),
+    st.sampled_from(["x", "count", "total", "flag"]),
+    st.booleans().map(lambda b: "true" if b else "false"),
+)
+
+
+@st.composite
+def expr_text(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(_expr_leaf)
+    op = draw(st.sampled_from(["+", "-", "*", "==", "<", "&&", "||"]))
+    left = draw(expr_text(depth + 1))  # type: ignore[call-arg]
+    right = draw(expr_text(depth + 1))  # type: ignore[call-arg]
+    # Keep bool/int operators type-plausible by parenthesising everything.
+    return f"({left} {op} {right})"
+
+
+@given(expr_text())
+@settings(max_examples=60)
+def test_expr_print_parse_fixpoint(source):
+    expr = parse_expr(source)
+    printed = print_expr(expr)
+    assert print_expr(parse_expr(printed)) == printed
+
+
+@given(st.lists(st.sampled_from([
+    "let a = 1;",
+    "let mut b = 2;",
+    "b += 1;",
+    "let c = a + b;",
+    "println!(\"{}\", 1);",
+    "if true { } else { }",
+    "for i in 0..3 { }",
+    "while false { }",
+    "unsafe { }",
+]), min_size=0, max_size=6))
+@settings(max_examples=50)
+def test_program_print_parse_fixpoint(stmts):
+    source = "fn main() {\n" + "\n".join(stmts) + "\n}"
+    once = print_program(parse_program(source))
+    twice = print_program(parse_program(once))
+    assert once == twice
+
+
+# ---------------------------------------------------------------------------
+# Stacked borrows invariants
+
+@given(st.lists(st.sampled_from(["mut", "shared", "raw"]), max_size=8))
+def test_borrow_stack_base_always_grants(ops):
+    stack, base = BorrowStack.new_allocation()
+    tag = base
+    for op in ops:
+        try:
+            if op == "mut":
+                tag = stack.retag_mut(tag)
+            elif op == "shared":
+                tag = stack.retag_shared(tag)
+            else:
+                tag = stack.retag_raw(tag, mutable=True)
+        except BorrowError:
+            break
+    # Whatever happened above, the base tag survives every operation.
+    assert stack.grants(base)
+    stack.write(base)
+
+
+@given(st.lists(st.sampled_from(["mut", "shared", "raw"]), min_size=1,
+                max_size=8))
+def test_borrow_write_via_base_clears_everything_above(ops):
+    stack, base = BorrowStack.new_allocation()
+    tag = base
+    for op in ops:
+        try:
+            if op == "mut":
+                tag = stack.retag_mut(tag)
+            elif op == "shared":
+                tag = stack.retag_shared(tag)
+            else:
+                tag = stack.retag_raw(tag, mutable=True)
+        except BorrowError:
+            break
+    stack.write(base)
+    assert stack.depth() == 1
+
+
+# ---------------------------------------------------------------------------
+# Vector clocks
+
+@given(st.dictionaries(st.integers(0, 5), st.integers(0, 100), max_size=5),
+       st.dictionaries(st.integers(0, 5), st.integers(0, 100), max_size=5))
+def test_vector_clock_join_is_upper_bound(a_times, b_times):
+    a = VectorClock(dict(a_times))
+    b = VectorClock(dict(b_times))
+    joined = a.copy()
+    joined.join(b)
+    for tid in set(a_times) | set(b_times):
+        assert joined.get(tid) >= a.get(tid)
+        assert joined.get(tid) >= b.get(tid)
+        assert joined.get(tid) == max(a.get(tid), b.get(tid))
+
+
+@given(st.dictionaries(st.integers(0, 5), st.integers(0, 100), max_size=5))
+def test_vector_clock_join_idempotent(times):
+    a = VectorClock(dict(times))
+    b = a.copy()
+    a.join(b)
+    assert a.times == b.times
+
+
+# ---------------------------------------------------------------------------
+# Embeddings
+
+@given(st.sampled_from([
+    "fn main() { let x = 1; }",
+    "fn main() { unsafe { } }",
+    "fn main() { let v = vec![1, 2]; }",
+    "static G: i32 = 0;\nfn main() { }",
+]))
+def test_vectorize_unit_norm(source):
+    import numpy as np
+    vector = vectorize(parse_program(source))
+    assert abs(float(np.linalg.norm(vector)) - 1.0) < 1e-9
+
+
+@given(st.sampled_from(["fn main() { let a = 1; }",
+                        "fn main() { unsafe { } }"]))
+def test_cosine_self_similarity_is_one(source):
+    vector = vectorize(parse_program(source))
+    assert cosine(vector, vector) == 1.0 if vector.any() else True
+
+
+# ---------------------------------------------------------------------------
+# Wilson interval properties
+
+@given(st.integers(0, 500), st.integers(1, 500))
+def test_wilson_interval_contains_point_estimate(successes, n):
+    successes = min(successes, n)
+    ci = wilson_interval(successes, n)
+    assert 0.0 <= ci.low <= ci.rate <= ci.high <= 1.0
+
+
+@given(st.integers(1, 400))
+def test_wilson_interval_narrows_with_n(n):
+    narrow = wilson_interval(n, 2 * n)
+    wide = wilson_interval(max(1, n // 10), max(2, n // 5))
+    assert (narrow.high - narrow.low) <= (wide.high - wide.low) + 1e-9
