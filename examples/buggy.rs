@@ -1,0 +1,7 @@
+fn main() {
+    let config = Box::new(1024);
+    let raw = Box::into_raw(config);
+    unsafe { drop(Box::from_raw(raw)); }
+    let buffer_size = unsafe { *raw };
+    println!("buffer size: {}", buffer_size);
+}

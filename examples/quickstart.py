@@ -4,7 +4,8 @@
 Run:  python examples/quickstart.py
 """
 
-from repro.core import RustBrain, RustBrainConfig, semantically_acceptable
+from repro.core import semantically_acceptable
+from repro.engine import create_engine
 from repro.miri import detect_ub
 
 BUGGY = """\
@@ -38,8 +39,9 @@ def main() -> None:
     print()
 
     # Step 2 — repair: fast thinking generates candidate solutions, slow
-    # thinking decomposes/executes/verifies them with the fix agents.
-    brain = RustBrain(RustBrainConfig(model="gpt-4", seed=7))
+    # thinking decomposes/executes/verifies them with the fix agents.  Any
+    # registered arm works here — try "rustbrain?kb=off" or "llm_only".
+    brain = create_engine("rustbrain", model="gpt-4", seed=7)
     outcome = brain.repair(BUGGY)
 
     print("=== RustBrain outcome ===")

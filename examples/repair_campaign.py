@@ -1,55 +1,54 @@
 #!/usr/bin/env python3
-"""Repair campaign: sweep RustBrain over a slice of the Miri-style corpus.
+"""Repair campaign: sweep engine arms over a slice of the Miri-style corpus.
 
-Reproduces, in miniature, the paper's RQ2 experiment: repair every case in
-two categories with two configurations (with / without the knowledge base)
-and report per-category pass/exec rates plus overhead — the self-learning
-feedback memory visibly kicks in on the later, similar cases.
+Reproduces, in miniature, the paper's RQ2 experiment through the engine
+API: two arms declared as spec strings (with / without the knowledge base),
+run with ``isolation="shared"`` — one stateful engine per arm, so the
+self-learning feedback memory visibly kicks in on the later, similar cases
+(the ``feedback`` marks in the assist column).  The finished run serializes
+to ``campaign.json``, the same artifact ``repro campaign --json`` writes.
+
+For throughput instead of statefulness, switch to the default
+``isolation="per_case"`` and raise ``workers`` — per-case derived seeds
+make a 4-worker run byte-identical to a serial one.
 
 Run:  python examples/repair_campaign.py
 """
 
 from repro.bench.reporting import render_table
-from repro.core import RustBrain, RustBrainConfig, semantically_acceptable
 from repro.corpus.dataset import load_dataset
+from repro.engine import Campaign, ProgressPrinter
 from repro.miri.errors import UbKind
 
 CATEGORIES = [UbKind.UNINIT, UbKind.DANGLING_POINTER]
-
-
-def run_campaign(use_kb: bool) -> list[list[str]]:
-    dataset = load_dataset().subset(CATEGORIES)
-    brain = RustBrain(RustBrainConfig(model="gpt-4", seed=13,
-                                      use_knowledge_base=use_kb))
-    rows = []
-    for case in dataset:
-        outcome = brain.repair(case.source, case.difficulty)
-        acceptable = bool(
-            outcome.passed and outcome.repaired_source
-            and semantically_acceptable(outcome.repaired_source,
-                                        case.fixed_source))
-        rows.append([
-            case.name,
-            case.category.value,
-            "pass" if outcome.passed else "FAIL",
-            "exec" if acceptable else "-",
-            f"{outcome.seconds:.0f}s",
-            "feedback" if outcome.used_feedback else
-            ("kb" if outcome.used_knowledge_base else "-"),
-        ])
-    return rows
+ENGINES = ["rustbrain?kb=off", "rustbrain"]
 
 
 def main() -> None:
-    for use_kb in (False, True):
-        label = "with knowledge base" if use_kb else "without knowledge base"
-        rows = run_campaign(use_kb)
+    dataset = load_dataset().subset(CATEGORIES)
+    campaign = Campaign(ENGINES, dataset, seed=13, isolation="shared",
+                        observers=[ProgressPrinter()])
+    result = campaign.run()
+
+    for arm in result.arms:
+        rows = [[
+            report.case,
+            report.category.value,
+            "pass" if report.passed else "FAIL",
+            "exec" if report.acceptable else "-",
+            f"{report.seconds:.0f}s",
+            "feedback" if report.used_feedback else
+            ("kb" if report.used_knowledge_base else "-"),
+        ] for report in arm.reports]
         print(render_table(
             ["case", "category", "miri", "semantics", "time", "assist"],
-            rows, title=f"Repair campaign ({label})"))
-        passed = sum(row[2] == "pass" for row in rows)
-        execs = sum(row[3] == "exec" for row in rows)
+            rows, title=f"Repair campaign ({arm.label})"))
+        passed = sum(r.passed for r in arm.reports)
+        execs = sum(r.acceptable for r in arm.reports)
         print(f"=> pass {passed}/{len(rows)}, exec {execs}/{len(rows)}\n")
+
+    result.save("campaign.json")
+    print("full trajectory written to campaign.json")
 
 
 if __name__ == "__main__":

@@ -8,10 +8,11 @@ peaking near T = 0.5 is the reproduced result.
 Run:  python examples/temperature_study.py
 """
 
-from repro.bench.experiments import evaluate_arm
+from repro.bench.experiments import evaluate_spec
 from repro.bench.reporting import render_bars
 from repro.bench.stats import wilson_interval
 from repro.corpus.dataset import Dataset, load_dataset
+from repro.engine import EngineSpec
 
 TEMPERATURES = (0.1, 0.3, 0.5, 0.7, 0.9)
 SEEDS = (3, 11)
@@ -22,10 +23,12 @@ def main() -> None:
     pass_series = {}
     exec_series = {}
     for temperature in TEMPERATURES:
+        # One spec string pins the whole arm, temperature included.
+        spec = EngineSpec.parse(f"rustbrain?temperature={temperature}")
         passes = execs = total = 0
         for seed in SEEDS:
-            run = evaluate_arm("rustbrain", model="gpt-4", seed=seed,
-                               temperature=temperature, dataset=dataset)
+            run = evaluate_spec(spec, model="gpt-4", seed=seed,
+                                dataset=dataset)
             passes += sum(r.passed for r in run.results)
             execs += sum(r.acceptable for r in run.results)
             total += len(run.results)

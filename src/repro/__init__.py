@@ -9,6 +9,7 @@ a feedback mechanism.
 Top-level convenience imports::
 
     from repro import RustBrain, detect_ub, load_dataset
+    from repro import create_engine, Campaign, EngineSpec
 """
 
 __version__ = "1.0.0"
@@ -25,7 +26,13 @@ def __getattr__(name):
     if name == "load_dataset":
         from .corpus.dataset import load_dataset
         return load_dataset
+    if name in ("Campaign", "EngineSpec", "create_engine",
+                "register_engine", "available_engines"):
+        from . import engine
+        return getattr(engine, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__all__ = ["RustBrain", "detect_ub", "load_dataset", "__version__"]
+__all__ = ["Campaign", "EngineSpec", "RustBrain", "available_engines",
+           "create_engine", "detect_ub", "load_dataset", "register_engine",
+           "__version__"]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..core.rewrites import apply_rule
 from ..core.pipeline import RepairOutcome
+from ..engine.registry import apply_config_overrides, register_engine
 from ..lang.parser import parse_program
 from ..lang.printer import print_program
 from ..llm.client import ContextOverflow, LLMClient, VirtualClock
@@ -96,3 +97,14 @@ class LLMOnlyRepair:
             used_knowledge_base=False, used_feedback=False,
             failure_reason=reason,
         )
+
+
+@register_engine("llm_only",
+                 summary="single-prompt ask-the-chatbot baseline "
+                         "('GPT-4 alone' in Fig. 8/9)",
+                 tags=("baseline",))
+def _build_llm_only(*, model: str = "gpt-4", seed: int = 0,
+                    temperature: float = 0.5, **overrides) -> LLMOnlyRepair:
+    config = LLMOnlyConfig(model=model, seed=seed, temperature=temperature)
+    apply_config_overrides(config, overrides)
+    return LLMOnlyRepair(config)

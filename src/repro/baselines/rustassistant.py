@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from ..core.agents.rollback import RollbackAgent, RollbackPolicy
 from ..core.pipeline import RepairOutcome
 from ..core.rewrites import FixKind, REGISTRY, apply_rule
+from ..engine.registry import apply_config_overrides, register_engine
 from ..lang.parser import parse_program
 from ..lang.printer import print_program
 from ..llm.client import ContextOverflow, LLMClient, VirtualClock
@@ -144,3 +145,17 @@ class RustAssistant:
             error_sequences=[sequence] if sequence else [],
             failure_reason=reason,
         )
+
+
+@register_engine("rustassistant",
+                 summary="fixed-pipeline baseline (Deligiannis et al.): "
+                         "rigid strategy order, rollback-to-initial, "
+                         "no feedback",
+                 tags=("baseline",))
+def _build_rustassistant(*, model: str = "gpt-4", seed: int = 0,
+                         temperature: float = 0.5,
+                         **overrides) -> RustAssistant:
+    config = RustAssistantConfig(model=model, seed=seed,
+                                 temperature=temperature)
+    apply_config_overrides(config, overrides)
+    return RustAssistant(config)

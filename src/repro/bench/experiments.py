@@ -1,155 +1,88 @@
 """Experiment runners shared by the benchmark suite (RQ1–RQ4).
 
-``evaluate_system`` sweeps a repair system over the dataset and scores every
-attempt with the external metrics the paper reports: *pass* (the repaired
-program passes Miri) and *exec* (observable behaviour matches the
-developer-repaired reference — §II-A's semantic-acceptability benchmark).
+This module is now a thin façade over :mod:`repro.engine` — the registry
+resolves arms, :func:`repro.engine.run_cases` sweeps them, and
+``CaseResult``/``SystemResults`` are re-exported from
+:mod:`repro.engine.results` where they canonically live.
+
+``make_system`` and ``evaluate_system`` are **deprecated shims** kept so the
+seed benchmarks and any external callers run unchanged; new code should use
+:func:`repro.engine.create_engine` and :class:`repro.engine.Campaign`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from ..baselines.llm_only import LLMOnlyConfig, LLMOnlyRepair
-from ..baselines.rustassistant import RustAssistant, RustAssistantConfig
-from ..core.agents.rollback import RollbackPolicy
-from ..core.evaluate import semantically_acceptable
-from ..core.pipeline import RustBrain, RustBrainConfig
-from ..corpus.case import UbCase
 from ..corpus.dataset import Dataset, load_dataset
-from ..miri.errors import UbKind
-from .stats import RateCI, mean, wilson_interval
+from ..engine.campaign import run_cases
+from ..engine.registry import create_engine
+from ..engine.results import CaseResult, SystemResults
+from ..engine.spec import EngineSpec, arm_label
+
+__all__ = [
+    "CaseResult",
+    "SystemResults",
+    "arm_label",
+    "evaluate_arm",
+    "evaluate_spec",
+    "evaluate_system",
+    "make_system",
+]
 
 
-@dataclass
-class CaseResult:
-    case: str
-    category: UbKind
-    passed: bool
-    acceptable: bool
-    seconds: float
-    tokens: int
-    llm_calls: int
-    used_knowledge_base: bool
-    used_feedback: bool
-    hallucinations: int
-    rollbacks: int
-    solutions_tried: int
+def evaluate_spec(spec: EngineSpec | str, *, model: str = "gpt-4",
+                  seed: int = 0, temperature: float = 0.5,
+                  dataset: Dataset | None = None, label: str | None = None,
+                  overrides: dict | None = None) -> SystemResults:
+    """Evaluate one engine spec with the paper's stateful semantics.
 
-
-@dataclass
-class SystemResults:
-    system: str
-    results: list[CaseResult] = field(default_factory=list)
-
-    # -- aggregate metrics -------------------------------------------------
-
-    def pass_rate(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.passed for r in self.results) / len(self.results)
-
-    def exec_rate(self) -> float:
-        if not self.results:
-            return 0.0
-        return sum(r.acceptable for r in self.results) / len(self.results)
-
-    def pass_ci(self) -> RateCI:
-        return wilson_interval(sum(r.passed for r in self.results),
-                               len(self.results))
-
-    def exec_ci(self) -> RateCI:
-        return wilson_interval(sum(r.acceptable for r in self.results),
-                               len(self.results))
-
-    def mean_seconds(self) -> float:
-        return mean([r.seconds for r in self.results])
-
-    def by_category(self) -> dict[UbKind, "SystemResults"]:
-        grouped: dict[UbKind, SystemResults] = {}
-        for result in self.results:
-            grouped.setdefault(
-                result.category, SystemResults(self.system)
-            ).results.append(result)
-        return grouped
-
-    def category_pass_rates(self) -> dict[UbKind, float]:
-        return {cat: grp.pass_rate() for cat, grp in self.by_category().items()}
-
-    def category_exec_rates(self) -> dict[UbKind, float]:
-        return {cat: grp.exec_rate() for cat, grp in self.by_category().items()}
-
-    def category_mean_seconds(self) -> dict[UbKind, float]:
-        return {cat: grp.mean_seconds()
-                for cat, grp in self.by_category().items()}
-
-
-# ---------------------------------------------------------------------------
-# System factory
-
-
-def make_system(kind: str, model: str = "gpt-4", seed: int = 0,
-                temperature: float = 0.5, **overrides):
-    """Build a repair system by arm name.
-
-    ``kind`` ∈ {llm_only, rustbrain, rustbrain_nokb, rustbrain_nofeedback,
-    rustassistant} plus rollback-policy variants for the ablations.
+    One engine instance sweeps the dataset serially, so feedback memory and
+    per-repair seeding accumulate across cases exactly as in the paper's
+    experiments (parallel, per-case-seeded sweeps are the
+    :class:`~repro.engine.Campaign` runner's job).
     """
-    if kind == "llm_only":
-        return LLMOnlyRepair(LLMOnlyConfig(model=model, seed=seed,
-                                           temperature=temperature))
-    if kind == "rustassistant":
-        return RustAssistant(RustAssistantConfig(model=model, seed=seed,
-                                                 temperature=temperature))
-    config = RustBrainConfig(model=model, seed=seed, temperature=temperature)
-    if kind == "rustbrain_nokb":
-        config.use_knowledge_base = False
-    elif kind == "rustbrain_nofeedback":
-        config.use_feedback = False
-    elif kind == "rustbrain_norollback":
-        config.rollback = RollbackPolicy.NONE
-    elif kind == "rustbrain_initial_rollback":
-        config.rollback = RollbackPolicy.INITIAL
-    elif kind == "rustbrain_nopruning":
-        config.use_pruning = False
-    elif kind != "rustbrain":
-        raise ValueError(f"unknown system kind {kind!r}")
-    for key, value in overrides.items():
-        setattr(config, key, value)
-    return RustBrain(config)
-
-
-def evaluate_system(system, dataset: Dataset | None = None,
-                    label: str = "system") -> SystemResults:
-    """Run ``system.repair`` over every case; score pass/exec externally."""
+    spec = EngineSpec.coerce(spec)
+    if seed != 0 and "seed" in spec.factory_kwargs():
+        # A pinned seed would silently override every per-seed repeat run,
+        # collapsing the sample to zero variance — fail loudly instead.
+        raise ValueError(
+            f"spec {spec} pins its own seed; pass the seed either in the "
+            f"spec or as the seed= argument, not both")
+    engine = create_engine(spec, model=model, seed=seed,
+                           temperature=temperature, **(overrides or {}))
     dataset = dataset if dataset is not None else load_dataset()
-    results = SystemResults(label)
-    for case in dataset:
-        outcome = system.repair(case.source, case.difficulty)
-        acceptable = bool(
-            outcome.passed and outcome.repaired_source is not None
-            and semantically_acceptable(outcome.repaired_source,
-                                        case.fixed_source))
-        results.results.append(CaseResult(
-            case=case.name,
-            category=case.category,
-            passed=outcome.passed,
-            acceptable=acceptable,
-            seconds=outcome.seconds,
-            tokens=outcome.tokens,
-            llm_calls=outcome.llm_calls,
-            used_knowledge_base=outcome.used_knowledge_base,
-            used_feedback=outcome.used_feedback,
-            hallucinations=outcome.hallucinations,
-            rollbacks=outcome.rollbacks,
-            solutions_tried=outcome.solutions_tried,
-        ))
-    return results
+    return run_cases(engine, dataset, label or arm_label(spec, model))
 
 
 def evaluate_arm(kind: str, model: str = "gpt-4", seed: int = 0,
                  temperature: float = 0.5,
                  dataset: Dataset | None = None, **overrides) -> SystemResults:
-    system = make_system(kind, model, seed, temperature, **overrides)
-    label = f"{model}+{kind}" if kind != "llm_only" else model
-    return evaluate_system(system, dataset, label)
+    return evaluate_spec(EngineSpec.coerce(kind), model=model, seed=seed,
+                         temperature=temperature, dataset=dataset,
+                         overrides=overrides)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims (pre-engine API)
+
+
+def make_system(kind: str, model: str = "gpt-4", seed: int = 0,
+                temperature: float = 0.5, **overrides):
+    """Deprecated: use :func:`repro.engine.create_engine`.
+
+    ``kind`` is any registered engine name (``repro engines`` lists them);
+    unknown names raise ``ValueError`` as before.
+    """
+    return create_engine(EngineSpec.coerce(kind), model=model, seed=seed,
+                         temperature=temperature, **overrides)
+
+
+def evaluate_system(system, dataset: Dataset | None = None,
+                    label: str = "system") -> SystemResults:
+    """Deprecated: use :class:`repro.engine.Campaign` or
+    :func:`repro.engine.run_cases`.
+
+    Runs ``system.repair`` serially over every case with the shared-instance
+    legacy semantics; scoring is identical to the engine layer's.
+    """
+    dataset = dataset if dataset is not None else load_dataset()
+    return run_cases(system, dataset, label)

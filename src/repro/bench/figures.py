@@ -15,8 +15,10 @@ from ..corpus.dataset import Dataset, load_dataset
 from ..core.pipeline import RustBrain, RustBrainConfig
 from ..core.evaluate import semantically_acceptable
 from ..core.solution import decompose
+from ..engine.spec import EngineSpec
 from ..miri.errors import PAPER_CATEGORIES, UbKind
-from .experiments import SystemResults, evaluate_arm
+from .experiments import SystemResults, arm_label, evaluate_arm, \
+    evaluate_spec
 from .stats import RateCI, mean, wilson_interval
 
 #: Seeds averaged in the headline numbers (repeat-sampling per §IV RQ3).
@@ -67,11 +69,12 @@ def _summarize(label: str, runs: list[SystemResults]) -> ArmSummary:
 def run_arm(kind: str, model: str, seeds=DEFAULT_SEEDS,
             dataset: Dataset | None = None, temperature: float = 0.5,
             **overrides) -> ArmSummary:
-    runs = [evaluate_arm(kind, model=model, seed=seed, dataset=dataset,
-                         temperature=temperature, **overrides)
+    """Repeat-sample one arm across seeds via the engine registry."""
+    spec = EngineSpec.coerce(kind)
+    runs = [evaluate_spec(spec, model=model, seed=seed, dataset=dataset,
+                          temperature=temperature, overrides=overrides)
             for seed in seeds]
-    label = f"{model}+{kind}" if kind != "llm_only" else model
-    return _summarize(label, runs)
+    return _summarize(arm_label(spec, model), runs)
 
 
 # ---------------------------------------------------------------------------

@@ -2,21 +2,50 @@
 
 Subcommands::
 
-    repro detect  FILE.rs            # run the UB detector (Miri analogue)
-    repro repair  FILE.rs            # repair with RustBrain, print the diff
-    repro dataset [--category C]     # list the corpus
-    repro bench   NAME               # regenerate one paper artifact
+    repro detect   FILE.rs               # run the UB detector (Miri analogue)
+    repro repair   FILE.rs [--engine S]  # repair with any registered engine
+    repro dataset  [--category C]        # list the corpus
+    repro engines                        # list registered repair engines
+    repro campaign --engine SPEC ...     # sweep engine arms over the corpus
+    repro bench    NAME                  # regenerate one paper artifact
+
+Engine specs are ``name?key=value&...`` strings, e.g.
+``rustbrain?kb=off&rollback=none&temperature=0.2`` — see
+:mod:`repro.engine.spec`.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
+
+
+class _SourceReadError(Exception):
+    """A source file could not be read; message is user-facing."""
+
+
+def _read_source(file_arg: str) -> str:
+    """Read a program from a path or stdin (``-``); clean error on failure."""
+    if file_arg == "-":
+        return sys.stdin.read()
+    path = pathlib.Path(file_arg)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        detail = getattr(exc, "strerror", None) or str(exc)
+        raise _SourceReadError(
+            f"repro: cannot read {file_arg!r}: {detail}") from exc
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     from .miri import detect_ub
-    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    try:
+        source = _read_source(args.file)
+    except _SourceReadError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     report = detect_ub(source, collect=args.collect)
     print(report.render())
     if report.stdout:
@@ -26,14 +55,58 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+#: Defaults for the flags an engine spec's reserved params take precedence
+#: over — the single source for both argparse and the override warnings.
+_ARG_DEFAULTS = {"model": "gpt-4", "seed": 0, "temperature": 0.5}
+
+
+def _warn_spec_overrides(spec_text: str, args: argparse.Namespace,
+                         no_kb: bool = False) -> None:
+    """Warn when an explicit CLI flag is silently pinned by the spec."""
+    from .engine.spec import EngineSpec, SpecError
+    try:
+        spec = EngineSpec.parse(spec_text)
+        pinned = spec.factory_kwargs()  # typed, so 2e-1 == 0.2
+    except SpecError:
+        return  # the caller reports the parse error itself
+    for key, default in _ARG_DEFAULTS.items():
+        value = getattr(args, key, default)
+        if key in pinned and value != default and value != pinned[key]:
+            print(f"repro: warning: --{key} {value} is overridden by the "
+                  f"engine spec ({key}={pinned[key]})", file=sys.stderr)
+    raw_keys = {key for key, _value in spec.params}
+    if no_kb and ("kb" in raw_keys or "use_knowledge_base" in raw_keys):
+        print("repro: warning: --no-kb is overridden by the engine spec's "
+              "kb setting", file=sys.stderr)
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
-    from .core import RustBrain, RustBrainConfig
-    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
-    config = RustBrainConfig(model=args.model, temperature=args.temperature,
-                             seed=args.seed,
-                             use_knowledge_base=not args.no_kb)
-    brain = RustBrain(config)
-    outcome = brain.repair(source)
+    from .engine import UnknownEngineError, create_engine
+    from .engine.spec import SpecError
+    try:
+        source = _read_source(args.file)
+    except _SourceReadError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    _warn_spec_overrides(args.engine, args, no_kb=args.no_kb)
+    try:
+        overrides = {}
+        if args.no_kb:
+            from .engine import REGISTRY
+            from .engine.spec import EngineSpec
+            info = REGISTRY.get(EngineSpec.parse(args.engine).name)
+            if "rustbrain" not in info.tags:
+                print(f"repro: --no-kb only applies to rustbrain engines, "
+                      f"not {info.name!r}", file=sys.stderr)
+                return 2
+            overrides["use_knowledge_base"] = False
+        engine = create_engine(args.engine, model=args.model,
+                               temperature=args.temperature, seed=args.seed,
+                               **overrides)
+    except (SpecError, UnknownEngineError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    outcome = engine.repair(source)
     if outcome.passed and outcome.repaired_source:
         print("== repair PASSED Miri ==")
         print(f"-- {outcome.solutions_tried} solutions, "
@@ -56,6 +129,91 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         print(f"{case.name:36s} {case.category.value:18s} "
               f"difficulty={case.difficulty}  {case.description}")
     print(f"\n{len(dataset)} cases, {len(dataset.categories())} categories")
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from .engine import available_engines
+    infos = available_engines()
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        tags = f"  [{', '.join(info.tags)}]" if info.tags else ""
+        print(f"{info.name:{width}s}  {info.summary}{tags}")
+    print(f"\n{len(infos)} engines registered")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .bench.reporting import render_table
+    from .engine import (Campaign, ProgressPrinter, SpecError,
+                         UnknownEngineError)
+    from .corpus.dataset import load_dataset
+    from .miri.errors import UbKind
+
+    dataset = load_dataset()
+    if args.category:
+        try:
+            dataset = dataset.subset([UbKind(cat) for cat in args.category])
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
+        if not len(dataset):
+            print("repro: no cases match the requested categories",
+                  file=sys.stderr)
+            return 2
+
+    if args.json:
+        # Probe writability now — discovering a bad path only after the
+        # sweep would throw away the whole run ("a" mode: no truncation;
+        # a file the probe itself created is removed again).
+        json_path = pathlib.Path(args.json)
+        existed = json_path.exists()
+        try:
+            with json_path.open("a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            detail = exc.strerror or str(exc)
+            print(f"repro: cannot write {args.json!r}: {detail}",
+                  file=sys.stderr)
+            return 2
+        if not existed:
+            json_path.unlink(missing_ok=True)
+
+    for spec in args.engine:
+        _warn_spec_overrides(spec, args)
+    observers = [] if args.quiet else [ProgressPrinter()]
+    try:
+        # Construction fails fast on unknown engines / bad spec options;
+        # run() errors past this point are genuine bugs, not usage errors.
+        campaign = Campaign(args.engine, dataset, model=args.model,
+                            seed=args.seed, temperature=args.temperature,
+                            workers=args.workers,
+                            shard_size=args.shard_size,
+                            isolation=args.isolation, observers=observers)
+    except (SpecError, UnknownEngineError, ValueError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    result = campaign.run()
+
+    rows = []
+    for arm in result.arms:
+        results = arm.results  # derived property; aggregate once per arm
+        rows.append([arm.label,
+                     f"{100 * results.pass_rate():.1f}",
+                     f"{100 * results.exec_rate():.1f}",
+                     f"{results.mean_seconds():.0f}",
+                     f"{len(results.results)}"])
+    print(render_table(["arm", "pass %", "exec %", "mean s", "cases"],
+                       rows, title="Campaign"))
+    if args.json:
+        try:
+            result.save(args.json)
+        except OSError as exc:
+            detail = exc.strerror or str(exc)
+            print(f"repro: cannot write {args.json!r}: {detail}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -108,17 +266,51 @@ def build_parser() -> argparse.ArgumentParser:
                           help="keep going after the first UB")
     p_detect.set_defaults(fn=_cmd_detect)
 
-    p_repair = sub.add_parser("repair", help="repair UBs with RustBrain")
+    p_repair = sub.add_parser("repair",
+                              help="repair UBs with a registered engine")
     p_repair.add_argument("file")
-    p_repair.add_argument("--model", default="gpt-4")
-    p_repair.add_argument("--temperature", type=float, default=0.5)
-    p_repair.add_argument("--seed", type=int, default=0)
-    p_repair.add_argument("--no-kb", action="store_true")
+    p_repair.add_argument("--engine", default="rustbrain",
+                          help="engine spec, e.g. rustbrain?kb=off "
+                               "(default: rustbrain)")
+    p_repair.add_argument("--model", default=_ARG_DEFAULTS["model"])
+    p_repair.add_argument("--temperature", type=float,
+                          default=_ARG_DEFAULTS["temperature"])
+    p_repair.add_argument("--seed", type=int, default=_ARG_DEFAULTS["seed"])
+    p_repair.add_argument("--no-kb", action="store_true",
+                          help="shorthand for kb=off")
     p_repair.set_defaults(fn=_cmd_repair)
 
     p_dataset = sub.add_parser("dataset", help="list the UB corpus")
     p_dataset.add_argument("--category", default=None)
     p_dataset.set_defaults(fn=_cmd_dataset)
+
+    p_engines = sub.add_parser("engines",
+                               help="list registered repair engines")
+    p_engines.set_defaults(fn=_cmd_engines)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="sweep engine arms over the corpus in parallel")
+    p_campaign.add_argument("--engine", action="append", required=True,
+                            help="engine spec (repeatable)")
+    p_campaign.add_argument("--model", default=_ARG_DEFAULTS["model"])
+    p_campaign.add_argument("--seed", type=int,
+                            default=_ARG_DEFAULTS["seed"])
+    p_campaign.add_argument("--temperature", type=float,
+                            default=_ARG_DEFAULTS["temperature"])
+    p_campaign.add_argument("--workers", type=int, default=1)
+    p_campaign.add_argument("--shard-size", type=int, default=8)
+    p_campaign.add_argument("--isolation", default="per_case",
+                            choices=("per_case", "shared"),
+                            help="per_case: fresh engine + derived seed per "
+                                 "case (parallel-safe); shared: one stateful "
+                                 "engine per arm, serial")
+    p_campaign.add_argument("--category", action="append",
+                            help="restrict to a UB category (repeatable)")
+    p_campaign.add_argument("--json", default=None, metavar="PATH",
+                            help="write the full campaign.json trajectory")
+    p_campaign.add_argument("--quiet", action="store_true",
+                            help="suppress progress lines")
+    p_campaign.set_defaults(fn=_cmd_campaign)
 
     p_bench = sub.add_parser("bench", help="regenerate a paper artifact")
     p_bench.add_argument("name")

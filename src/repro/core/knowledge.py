@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -440,6 +441,29 @@ class KbEntry:
     snippet: str
 
 
+@lru_cache(maxsize=8)
+def _default_entries(coverage: float, seed: int,
+                     use_pruning: bool) -> tuple[KbEntry, ...]:
+    """Parse/prune/vectorize the curated exemplars once per configuration.
+
+    Entries are frozen and only ever read, so the tuple is safely shared by
+    every KnowledgeBase instance — campaigns build one engine per case, and
+    without this cache each of those rebuilt the whole KB.
+    """
+    import random as _random
+    exemplars = list(_EXEMPLARS)
+    if coverage < 1.0:
+        keep = max(1, int(len(exemplars) * coverage))
+        _random.Random(seed).shuffle(exemplars)
+        exemplars = exemplars[:keep]
+    entries = []
+    for rule, category, snippet in exemplars:
+        program = parse_program(snippet)
+        target = prune_program(program) if use_pruning else program
+        entries.append(KbEntry(rule, category, vectorize(target), snippet))
+    return tuple(entries)
+
+
 class KnowledgeBase:
     """Similarity-searchable store of repair exemplars."""
 
@@ -459,18 +483,7 @@ class KnowledgeBase:
         paper's "depends on its size" observation; ``use_pruning=False``
         skips Algorithm 1 when embedding (the pruning ablation).
         """
-        import random as _random
-        exemplars = list(_EXEMPLARS)
-        if coverage < 1.0:
-            keep = max(1, int(len(exemplars) * coverage))
-            _random.Random(seed).shuffle(exemplars)
-            exemplars = exemplars[:keep]
-        entries = []
-        for rule, category, snippet in exemplars:
-            program = parse_program(snippet)
-            target = prune_program(program) if use_pruning else program
-            entries.append(KbEntry(rule, category, vectorize(target), snippet))
-        return cls(entries)
+        return cls(list(_default_entries(coverage, seed, use_pruning)))
 
     def query(self, vector: np.ndarray, k: int = 3,
               min_similarity: float = 0.25) -> list[tuple[KbEntry, float]]:

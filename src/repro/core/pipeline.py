@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..engine.registry import apply_config_overrides, register_engine
 from ..lang.parser import parse_program
 from ..lang.printer import print_program
 from ..llm.client import ContextOverflow, LLMClient, VirtualClock
@@ -155,11 +156,15 @@ class RustBrain:
                 difficulty=difficulty, round_index=round_index,
                 orchestrated=True)
             # Identical samples are one solution, not several: duplicated
-            # plans are collapsed (low temperatures genuinely yield fewer
-            # distinct options — the Fig. 11 under-exploration effect).
+            # plans are collapsed, first occurrence winning (low temperatures
+            # genuinely yield fewer distinct options — the Fig. 11
+            # under-exploration effect).
+            seen_plans: set[tuple[str, ...]] = set()
             unique_plans: list[list[str]] = []
             for plan in plans:
-                if plan not in unique_plans:
+                key = tuple(plan)
+                if key not in seen_plans:
+                    seen_plans.add(key)
                     unique_plans.append(plan)
             guided_rules = set(kb_hint or []) | set(feedback_rules or [])
             solutions = decompose(unique_plans, guided_rules=guided_rules)
@@ -216,3 +221,60 @@ class RustBrain:
             applied_rules=applied,
             failure_reason=failure_reason,
         )
+
+
+# ---------------------------------------------------------------------------
+# Engine registrations — RustBrain and every ablation variant the paper's
+# evaluation arms use are declared here, next to the implementation, instead
+# of in a central factory if-chain.
+
+
+def _rustbrain_factory(**variant_defaults):
+    def build(*, model: str = "gpt-4", seed: int = 0,
+              temperature: float = 0.5, **overrides) -> RustBrain:
+        config = RustBrainConfig(model=model, seed=seed,
+                                 temperature=temperature)
+        apply_config_overrides(config, {**variant_defaults, **overrides})
+        return RustBrain(config)
+    return build
+
+
+register_engine(
+    "rustbrain",
+    summary="full fast/slow-thinking pipeline: KB, feedback, adaptive "
+            "rollback (the paper's framework)",
+    tags=("rustbrain",),
+)(_rustbrain_factory())
+
+register_engine(
+    "rustbrain_nokb",
+    summary="RustBrain without the pruned-AST knowledge base "
+            "(Fig. 8/9 'non knowledge' arm)",
+    tags=("rustbrain", "ablation"),
+)(_rustbrain_factory(use_knowledge_base=False))
+
+register_engine(
+    "rustbrain_nofeedback",
+    summary="RustBrain without the self-learning feedback memory",
+    tags=("rustbrain", "ablation"),
+)(_rustbrain_factory(use_feedback=False))
+
+register_engine(
+    "rustbrain_norollback",
+    summary="RustBrain with rollback disabled "
+            "(hallucination-propagation ablation)",
+    tags=("rustbrain", "ablation"),
+)(_rustbrain_factory(rollback=RollbackPolicy.NONE))
+
+register_engine(
+    "rustbrain_initial_rollback",
+    summary="RustBrain with rollback-to-initial instead of adaptive "
+            "(prior-framework policy)",
+    tags=("rustbrain", "ablation"),
+)(_rustbrain_factory(rollback=RollbackPolicy.INITIAL))
+
+register_engine(
+    "rustbrain_nopruning",
+    summary="RustBrain with the unpruned knowledge base",
+    tags=("rustbrain", "ablation"),
+)(_rustbrain_factory(use_pruning=False))

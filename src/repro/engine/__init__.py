@@ -1,0 +1,64 @@
+"""The public repair-engine API.
+
+One import surface for everything above the individual arms::
+
+    from repro.engine import create_engine, Campaign, EngineSpec
+
+    engine = create_engine("rustbrain?kb=off&temperature=0.2", seed=7)
+    outcome = engine.repair(buggy_source)
+
+    campaign = Campaign(["rustbrain", "llm_only"], workers=4, seed=3)
+    result = campaign.run()
+    result.save("campaign.json")
+
+Arms register themselves where they are implemented
+(:mod:`repro.core.pipeline`, :mod:`repro.baselines.llm_only`,
+:mod:`repro.baselines.rustassistant`) via :func:`register_engine`; the
+registry imports those modules lazily on first lookup.
+"""
+
+from .campaign import (ArmRun, Campaign, CampaignResult, case_seed,
+                       run_cases)
+from .registry import (REGISTRY, EngineConfigError, EngineInfo,
+                       EngineRegistry, RepairEngine, UnknownEngineError,
+                       apply_config_overrides, available_engines,
+                       create_engine, register_engine)
+from .results import CaseResult, SystemResults
+from .spec import EngineSpec, SpecError
+from .telemetry import (CampaignObserver, CaseFinished, CaseStarted,
+                        EngineFinished, EngineStarted, ProgressPrinter,
+                        RoundFinished, TelemetryLog)
+from .types import RepairReport, RepairRequest, run_request
+
+__all__ = [
+    "ArmRun",
+    "Campaign",
+    "CampaignObserver",
+    "CampaignResult",
+    "CaseFinished",
+    "CaseResult",
+    "CaseStarted",
+    "EngineConfigError",
+    "EngineFinished",
+    "EngineInfo",
+    "EngineRegistry",
+    "EngineSpec",
+    "EngineStarted",
+    "ProgressPrinter",
+    "REGISTRY",
+    "RepairEngine",
+    "RepairReport",
+    "RepairRequest",
+    "RoundFinished",
+    "SpecError",
+    "SystemResults",
+    "TelemetryLog",
+    "UnknownEngineError",
+    "apply_config_overrides",
+    "available_engines",
+    "case_seed",
+    "create_engine",
+    "register_engine",
+    "run_cases",
+    "run_request",
+]

@@ -1,0 +1,292 @@
+"""Campaign runner: shard a dataset across workers, one arm at a time.
+
+A :class:`Campaign` evaluates one or more engine specs over a
+:class:`~repro.corpus.dataset.Dataset`.  The dataset is split into
+contiguous shards which a ``concurrent.futures`` thread pool drains; every
+case gets a **fresh engine instance with a per-case derived seed**, so the
+outcome of a case depends only on ``(spec, model, campaign seed, case
+index)`` — never on scheduling — and a 4-worker run is byte-identical to a
+serial one.  Progress surfaces through the structured observer events in
+:mod:`repro.engine.telemetry`, and a finished run serializes to JSON
+(``campaign.json``) for the ``BENCH_*`` trajectory.
+
+The legacy stateful path — one shared engine walked serially over the
+dataset, accumulating feedback memory across cases — lives on as
+:func:`run_cases`; ``repro.bench.experiments.evaluate_system`` delegates to
+it, which keeps every seed benchmark bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..corpus.dataset import Dataset, load_dataset
+from .registry import create_engine
+from .results import SystemResults
+from .spec import EngineSpec, arm_label
+from .telemetry import (CampaignObserver, CaseFinished, CaseStarted,
+                        EngineFinished, EngineStarted, RoundFinished,
+                        TelemetryLog)
+from .types import RepairReport, RepairRequest, run_request
+
+#: Multiplier decorrelating per-case seeds from neighbouring campaign seeds.
+_CASE_SEED_STRIDE = 100_003
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    """The derived seed for case ``index`` — order- and worker-independent."""
+    return campaign_seed * _CASE_SEED_STRIDE + index
+
+
+def run_cases(engine, dataset: Dataset, label: str) -> SystemResults:
+    """Serial sweep of one *shared* engine instance over a dataset.
+
+    This is the stateful legacy semantics (feedback memory and repair
+    indices accumulate across cases) used by ``evaluate_system`` and the
+    benchmark figures.  Campaigns use per-case instances instead.
+    """
+    results = SystemResults(label)
+    for case in dataset:
+        report = run_request(engine, RepairRequest.from_case(case),
+                             engine_label=label)
+        results.results.append(report.to_case_result())
+    return results
+
+
+@dataclass
+class ArmRun:
+    """One engine spec's sweep within a campaign."""
+
+    spec: EngineSpec
+    label: str
+    reports: list[RepairReport] = field(default_factory=list)
+
+    @property
+    def results(self) -> SystemResults:
+        """Aggregate view over ``reports`` (the single source of truth)."""
+        aggregated = SystemResults(self.label)
+        aggregated.results.extend(report.to_case_result()
+                                  for report in self.reports)
+        return aggregated
+
+    def to_dict(self) -> dict:
+        results = self.results
+        return {
+            "spec": self.spec.to_string(),
+            "label": self.label,
+            "summary": {
+                "cases": len(results.results),
+                "pass_rate": results.pass_rate(),
+                "exec_rate": results.exec_rate(),
+                "mean_seconds": results.mean_seconds(),
+            },
+            "cases": [report.to_dict() for report in self.reports],
+        }
+
+
+@dataclass
+class CampaignResult:
+    config: dict
+    arms: list[ArmRun]
+    telemetry: TelemetryLog
+
+    def by_label(self) -> dict[str, SystemResults]:
+        return {arm.label: arm.results for arm in self.arms}
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.campaign/1",
+            "config": dict(self.config),
+            "arms": [arm.to_dict() for arm in self.arms],
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path) -> None:
+        import pathlib
+        pathlib.Path(path).write_text(self.to_json() + "\n",
+                                      encoding="utf-8")
+
+
+class Campaign:
+    """Sweep engine arms over a dataset with a sharded worker pool.
+
+    ``isolation`` picks the execution semantics per arm:
+
+    * ``"per_case"`` (default) — a fresh engine per case with a derived
+      seed; order- and worker-count-invariant, parallelises freely.
+    * ``"shared"`` — one engine instance walks the dataset serially, so
+      cross-case state (RustBrain's self-learning feedback memory)
+      accumulates exactly as in the paper's experiments.  Requires
+      ``workers=1``: a stateful sweep is order-dependent by design.
+    """
+
+    def __init__(self, engines, dataset: Dataset | None = None, *,
+                 model: str = "gpt-4", seed: int = 0,
+                 temperature: float = 0.5, workers: int = 1,
+                 shard_size: int = 8, isolation: str = "per_case",
+                 observers=()):
+        # A lone spec (string or EngineSpec) is a one-arm campaign, not an
+        # iterable of one-character engine names.
+        if isinstance(engines, (str, EngineSpec)):
+            engines = [engines]
+        self.specs = [EngineSpec.coerce(spec) for spec in engines]
+        if not self.specs:
+            raise ValueError("a campaign needs at least one engine spec")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if isolation not in ("per_case", "shared"):
+            raise ValueError(
+                f"isolation must be 'per_case' or 'shared', got {isolation!r}")
+        if isolation == "shared" and workers != 1:
+            raise ValueError("shared isolation is a stateful serial sweep; "
+                             "it requires workers=1")
+        # Fail fast: resolve every arm now (unknown engines, bad config
+        # keys) instead of after earlier arms have burned minutes of work.
+        for spec in self.specs:
+            create_engine(spec, model=model, seed=seed,
+                          temperature=temperature)
+        self.dataset = dataset if dataset is not None else load_dataset()
+        self.model = model
+        self.seed = seed
+        self.temperature = temperature
+        self.workers = workers
+        self.shard_size = shard_size
+        self.isolation = isolation
+        self._user_observers: list[CampaignObserver] = list(observers)
+        #: The latest run's event log; replaced at each ``run()`` so repeated
+        #: runs don't accumulate each other's events.
+        self.telemetry = TelemetryLog()
+        self.observers: list[CampaignObserver] = [self.telemetry,
+                                                  *self._user_observers]
+        self._lock = threading.Lock()
+
+    # -- observer fan-out --------------------------------------------------
+
+    def _emit(self, hook: str, event) -> None:
+        with self._lock:
+            for observer in self.observers:
+                getattr(observer, hook)(event)
+
+    # -- execution ---------------------------------------------------------
+
+    def label_for(self, spec: EngineSpec) -> str:
+        return arm_label(spec, self.model)
+
+    def _arm_seeding(self, spec: EngineSpec) -> tuple[int, EngineSpec]:
+        """Hoist a spec-pinned ``seed`` into the arm's base seed.
+
+        Per-case derivation must stay in effect — otherwise
+        ``rustbrain?seed=7`` would run every case with literally seed 7,
+        fully correlating the samples.  The pinned value replaces the
+        campaign seed as the derivation base, and the param is stripped
+        from the spec used to build engines (the original spec, label
+        included, is what gets reported).
+        """
+        kwargs = spec.factory_kwargs()
+        if "seed" not in kwargs:
+            return self.seed, spec
+        stripped = EngineSpec(spec.name,
+                              tuple((key, value) for key, value in spec.params
+                                    if key != "seed"))
+        return kwargs["seed"], stripped
+
+    def _run_case(self, spec: EngineSpec, label: str, base_seed: int,
+                  index: int, case, total: int, engine=None) -> RepairReport:
+        self._emit("on_case_start",
+                   CaseStarted(engine=label, case=case.name, index=index,
+                               total=total))
+        if engine is None:
+            engine = create_engine(spec, model=self.model,
+                                   seed=case_seed(base_seed, index),
+                                   temperature=self.temperature)
+        report = run_request(engine, RepairRequest.from_case(case, index),
+                             engine_label=label)
+        self._emit("on_case_done",
+                   CaseFinished(engine=label, case=case.name, index=index,
+                                total=total, passed=report.passed,
+                                acceptable=report.acceptable,
+                                seconds=report.seconds))
+        return report
+
+    def _run_shard(self, spec: EngineSpec, label: str, base_seed: int,
+                   shard, total: int, engine=None) -> list[RepairReport]:
+        return [self._run_case(spec, label, base_seed, index, case, total,
+                               engine)
+                for index, case in shard]
+
+    def _run_arm(self, spec: EngineSpec) -> ArmRun:
+        label = self.label_for(spec)
+        base_seed, run_spec = self._arm_seeding(spec)
+        cases = list(self.dataset)
+        total = len(cases)
+        self._emit("on_engine_start",
+                   EngineStarted(engine=label, cases=total))
+
+        indexed = list(enumerate(cases))
+        shards = [indexed[start:start + self.shard_size]
+                  for start in range(0, total, self.shard_size)]
+        # Shared isolation: one stateful engine walks every shard in order.
+        shared_engine = (create_engine(run_spec, model=self.model,
+                                       seed=base_seed,
+                                       temperature=self.temperature)
+                         if self.isolation == "shared" else None)
+        reports: list[RepairReport] = []
+        if self.workers == 1:
+            shard_results = [self._run_shard(run_spec, label, base_seed,
+                                             shard, total, shared_engine)
+                             for shard in shards]
+            for round_index, shard_reports in enumerate(shard_results):
+                reports.extend(shard_reports)
+                self._emit_round(label, round_index, len(shards), reports,
+                                 total)
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(self._run_shard, run_spec, label,
+                                       base_seed, shard, total)
+                           for shard in shards]
+                # Collect in submission order: reports stay dataset-ordered
+                # and round events fire deterministically even though shards
+                # complete in any order.
+                for round_index, future in enumerate(futures):
+                    reports.extend(future.result())
+                    self._emit_round(label, round_index, len(shards),
+                                     reports, total)
+
+        self._emit("on_engine_done", EngineFinished(
+            engine=label, cases=total,
+            passed=sum(r.passed for r in reports),
+            acceptable=sum(r.acceptable for r in reports),
+            virtual_seconds=sum(r.seconds for r in reports)))
+        return ArmRun(spec=spec, label=label, reports=reports)
+
+    def _emit_round(self, label: str, round_index: int, rounds: int,
+                    reports: list[RepairReport], total: int) -> None:
+        self._emit("on_round", RoundFinished(
+            engine=label, round_index=round_index, rounds=rounds,
+            completed=len(reports), total=total,
+            passed_so_far=sum(r.passed for r in reports)))
+
+    def run(self) -> CampaignResult:
+        self.telemetry = TelemetryLog()
+        self.observers = [self.telemetry, *self._user_observers]
+        arms = [self._run_arm(spec) for spec in self.specs]
+        config = {
+            "engines": [spec.to_string() for spec in self.specs],
+            "model": self.model,
+            "seed": self.seed,
+            "temperature": self.temperature,
+            "workers": self.workers,
+            "shard_size": self.shard_size,
+            "isolation": self.isolation,
+            "cases": len(self.dataset),
+        }
+        return CampaignResult(config=config, arms=arms,
+                              telemetry=self.telemetry)

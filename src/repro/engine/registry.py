@@ -1,0 +1,190 @@
+"""Engine registry: arms declare themselves where they are implemented.
+
+Every repair system — RustBrain, each ablation variant, and all baselines —
+registers a factory under a stable name with :func:`register_engine`::
+
+    @register_engine("llm_only", summary="single-prompt baseline")
+    def _build(*, model="gpt-4", seed=0, temperature=0.5, **overrides):
+        ...
+
+Consumers resolve arms through :func:`create_engine`, which accepts either a
+name, a ``name?key=value`` spec string, or an :class:`EngineSpec` — the one
+configuration path shared by the CLI, the Campaign runner, and the benchmark
+suite (replacing the old ``make_system`` if-chain).
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from .spec import EngineSpec
+
+
+@runtime_checkable
+class RepairEngine(Protocol):
+    """Structural protocol every arm satisfies: repair one program."""
+
+    def repair(self, source: str, difficulty: int = 2):
+        """Return a :class:`~repro.core.pipeline.RepairOutcome`."""
+        ...
+
+
+#: Factory signature: ``factory(*, model, seed, temperature, **overrides)``.
+EngineFactory = Callable[..., RepairEngine]
+
+
+class UnknownEngineError(ValueError):
+    """Raised when a spec names an engine nobody registered."""
+
+
+class EngineConfigError(ValueError):
+    """Raised when a spec carries options the engine's config rejects."""
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    name: str
+    factory: EngineFactory
+    summary: str = ""
+    tags: tuple[str, ...] = ()
+
+
+#: Modules that declare the built-in arms; imported lazily on first lookup
+#: so ``import repro.engine`` stays cheap and cycle-free.
+_BUILTIN_MODULES = (
+    "repro.core.pipeline",
+    "repro.baselines.llm_only",
+    "repro.baselines.rustassistant",
+)
+
+
+@dataclass
+class EngineRegistry:
+    """Name → factory mapping with decorator-style registration."""
+
+    _engines: dict[str, EngineInfo] = field(default_factory=dict)
+    _builtins_loaded: bool = False
+    _load_lock: threading.Lock = field(default_factory=threading.Lock,
+                                       repr=False, compare=False)
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, name: str, *, summary: str = "",
+                 tags: tuple[str, ...] = (), replace: bool = False):
+        """Decorator registering ``factory`` under ``name``."""
+        def decorator(factory: EngineFactory) -> EngineFactory:
+            if not replace and name in self._engines:
+                raise ValueError(f"engine {name!r} is already registered")
+            self._engines[name] = EngineInfo(name=name, factory=factory,
+                                             summary=summary,
+                                             tags=tuple(tags))
+            return factory
+        return decorator
+
+    # -- lookup ------------------------------------------------------------
+
+    def _ensure_builtins(self) -> None:
+        # Double-checked: campaign workers may race the first lookup, and the
+        # loaded flag must only flip after the arm modules finish importing.
+        if self._builtins_loaded:
+            return
+        with self._load_lock:
+            if self._builtins_loaded:
+                return
+            for module in _BUILTIN_MODULES:
+                importlib.import_module(module)
+            self._builtins_loaded = True
+
+    def get(self, name: str) -> EngineInfo:
+        self._ensure_builtins()
+        try:
+            return self._engines[name]
+        except KeyError:
+            known = ", ".join(sorted(self._engines)) or "<none>"
+            raise UnknownEngineError(
+                f"unknown engine {name!r}; registered engines: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        self._ensure_builtins()
+        return sorted(self._engines)
+
+    def infos(self) -> list[EngineInfo]:
+        self._ensure_builtins()
+        return [self._engines[name] for name in sorted(self._engines)]
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_builtins()
+        return name in self._engines
+
+    # -- construction ------------------------------------------------------
+
+    def create(self, spec: EngineSpec | str, *, model: str = "gpt-4",
+               seed: int = 0, temperature: float = 0.5,
+               **overrides) -> RepairEngine:
+        """Instantiate the engine a spec describes.
+
+        Reserved spec params (``model``/``seed``/``temperature``) override
+        the keyword defaults; the remaining params become typed config
+        overrides merged over any ``overrides`` kwargs.
+        """
+        spec = EngineSpec.coerce(spec)
+        info = self.get(spec.name)
+        factory_kwargs = {"model": model, "seed": seed,
+                          "temperature": temperature}
+        factory_kwargs.update(spec.factory_kwargs())
+        merged = dict(overrides)
+        merged.update(spec.overrides())
+        return info.factory(**factory_kwargs, **merged)
+
+
+def _check_override_type(key: str, current, value) -> None:
+    """Reject type-mismatched overrides instead of storing them silently.
+
+    Without this, a typo'd boolean like ``kb=none`` coerces to the truthy
+    string ``"none"`` and the arm quietly runs WITH the knowledge base —
+    corrupting ablation results with no error.
+    """
+    if current is None or value is None:
+        return
+    if isinstance(current, bool):
+        ok = isinstance(value, bool)
+    elif isinstance(current, float):
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif isinstance(current, int):
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    else:
+        ok = isinstance(value, type(current))
+    if not ok:
+        raise EngineConfigError(
+            f"option {key!r} expects {type(current).__name__} "
+            f"(e.g. {current!r}), got {value!r}")
+
+
+def apply_config_overrides(config, overrides: dict):
+    """Setattr each override onto a config dataclass, validating keys and
+    value types against the config's defaults."""
+    for key, value in overrides.items():
+        if not hasattr(config, key):
+            valid = ", ".join(sorted(vars(config)))
+            raise EngineConfigError(
+                f"unknown option {key!r} for {type(config).__name__}; "
+                f"valid options: {valid}")
+        _check_override_type(key, getattr(config, key), value)
+        setattr(config, key, value)
+    return config
+
+
+#: The process-wide default registry.
+REGISTRY = EngineRegistry()
+
+register_engine = REGISTRY.register
+create_engine = REGISTRY.create
+
+
+def available_engines() -> list[EngineInfo]:
+    """All registered arms, built-ins included, sorted by name."""
+    return REGISTRY.infos()

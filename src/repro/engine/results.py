@@ -1,0 +1,122 @@
+"""Result containers shared by the engine layer and the benchmark suite.
+
+``CaseResult`` and ``SystemResults`` historically lived in
+``repro.bench.experiments``; they moved here so the engine subsystem (the
+public repair API) owns the canonical result model and the bench layer is
+just one consumer.  ``repro.bench.experiments`` re-exports both names, so
+every pre-existing import path keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..miri.errors import UbKind
+from .stats import RateCI, mean, wilson_interval
+
+
+@dataclass
+class CaseResult:
+    case: str
+    #: None for ad-hoc requests that carry no corpus category.
+    category: UbKind | None
+    passed: bool
+    acceptable: bool
+    seconds: float
+    tokens: int
+    llm_calls: int
+    used_knowledge_base: bool
+    used_feedback: bool
+    hallucinations: int
+    rollbacks: int
+    solutions_tried: int
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "category": self.category.value if self.category else None,
+            "passed": self.passed,
+            "acceptable": self.acceptable,
+            "seconds": self.seconds,
+            "tokens": self.tokens,
+            "llm_calls": self.llm_calls,
+            "used_knowledge_base": self.used_knowledge_base,
+            "used_feedback": self.used_feedback,
+            "hallucinations": self.hallucinations,
+            "rollbacks": self.rollbacks,
+            "solutions_tried": self.solutions_tried,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseResult":
+        payload = dict(data)
+        raw_category = payload["category"]
+        payload["category"] = (UbKind(raw_category)
+                               if raw_category is not None else None)
+        return cls(**payload)
+
+
+@dataclass
+class SystemResults:
+    system: str
+    results: list[CaseResult] = field(default_factory=list)
+
+    # -- aggregate metrics -------------------------------------------------
+
+    def pass_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.passed for r in self.results) / len(self.results)
+
+    def exec_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.acceptable for r in self.results) / len(self.results)
+
+    def pass_ci(self) -> RateCI:
+        return wilson_interval(sum(r.passed for r in self.results),
+                               len(self.results))
+
+    def exec_ci(self) -> RateCI:
+        return wilson_interval(sum(r.acceptable for r in self.results),
+                               len(self.results))
+
+    def mean_seconds(self) -> float:
+        return mean([r.seconds for r in self.results])
+
+    def by_category(self) -> dict[UbKind, "SystemResults"]:
+        grouped: dict[UbKind, SystemResults] = {}
+        for result in self.results:
+            grouped.setdefault(
+                result.category, SystemResults(self.system)
+            ).results.append(result)
+        return grouped
+
+    def category_pass_rates(self) -> dict[UbKind, float]:
+        return {cat: grp.pass_rate() for cat, grp in self.by_category().items()}
+
+    def category_exec_rates(self) -> dict[UbKind, float]:
+        return {cat: grp.exec_rate() for cat, grp in self.by_category().items()}
+
+    def category_mean_seconds(self) -> dict[UbKind, float]:
+        return {cat: grp.mean_seconds()
+                for cat, grp in self.by_category().items()}
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "pass_rate": self.pass_rate(),
+            "exec_rate": self.exec_rate(),
+            "mean_seconds": self.mean_seconds(),
+            "cases": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemResults":
+        return cls(system=data["system"],
+                   results=[CaseResult.from_dict(entry)
+                            for entry in data["cases"]])

@@ -1,0 +1,160 @@
+"""Engine specifications: one string grammar for CLI, benchmarks, and code.
+
+A spec names a registered engine and optionally carries configuration in a
+URL-query-ish tail::
+
+    rustbrain
+    rustbrain?kb=off&rollback=none&temperature=0.2
+    llm_only?attempts=5
+
+Keys are config-field names or their short aliases (``kb``, ``feedback``,
+``pruning``); values are coerced by shape (ints, floats, on/off booleans,
+rollback-policy names).  ``model``/``seed``/``temperature`` are reserved
+keys routed to the engine factory itself, so a single spec string fully
+pins an experimental arm.  Parsing and formatting round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Short query keys → config field names.
+PARAM_ALIASES = {
+    "kb": "use_knowledge_base",
+    "feedback": "use_feedback",
+    "pruning": "use_pruning",
+}
+
+#: Keys consumed by the engine factory rather than the engine config.
+RESERVED_KEYS = frozenset({"model", "seed", "temperature"})
+
+_TRUE_WORDS = frozenset({"on", "true", "yes"})
+_FALSE_WORDS = frozenset({"off", "false", "no"})
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_.-]*$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+class SpecError(ValueError):
+    """Raised for malformed spec strings."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Parsed ``name?key=value&...`` engine specification."""
+
+    name: str
+    #: Ordered raw key/value pairs, exactly as written (round-trip safe).
+    params: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "EngineSpec":
+        text = text.strip()
+        if not text:
+            raise SpecError("empty engine spec")
+        name, _, query = text.partition("?")
+        if not _NAME_RE.match(name):
+            raise SpecError(f"invalid engine name {name!r} in spec {text!r}")
+        params: list[tuple[str, str]] = []
+        if query:
+            for chunk in query.split("&"):
+                key, sep, value = chunk.partition("=")
+                if not sep or not key or not value:
+                    raise SpecError(
+                        f"malformed parameter {chunk!r} in spec {text!r} "
+                        "(expected key=value)")
+                params.append((key, value))
+        return cls(name, tuple(params))
+
+    @classmethod
+    def coerce(cls, spec: "EngineSpec | str") -> "EngineSpec":
+        return spec if isinstance(spec, EngineSpec) else cls.parse(spec)
+
+    @classmethod
+    def make(cls, name: str, **params) -> "EngineSpec":
+        """Build a spec from typed python values (bools become on/off)."""
+        return cls(name, tuple((key, _format_value(value))
+                               for key, value in params.items()))
+
+    # -- formatting --------------------------------------------------------
+
+    def to_string(self) -> str:
+        if not self.params:
+            return self.name
+        query = "&".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.name}?{query}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    # -- interpretation ----------------------------------------------------
+
+    def factory_kwargs(self) -> dict:
+        """The reserved params (model/seed/temperature), typed."""
+        return {key: _coerce_value(key, value)
+                for key, value in self.params if key in RESERVED_KEYS}
+
+    def overrides(self) -> dict:
+        """Config overrides: aliases expanded, values typed."""
+        out: dict = {}
+        for key, value in self.params:
+            if key in RESERVED_KEYS:
+                continue
+            out[PARAM_ALIASES.get(key, key)] = _coerce_value(key, value)
+        return out
+
+
+def _coerce_value(key: str, raw: str):
+    if key == "rollback":
+        from ..core.agents.rollback import RollbackPolicy
+        try:
+            return RollbackPolicy(raw)
+        except ValueError:
+            choices = ", ".join(p.value for p in RollbackPolicy)
+            raise SpecError(
+                f"unknown rollback policy {raw!r}; choose from {choices}"
+            ) from None
+    if key == "model":
+        return raw
+    if key == "seed":
+        if not _INT_RE.match(raw):
+            raise SpecError(f"seed must be an integer, got {raw!r}")
+        return int(raw)
+    if key == "temperature":
+        if not (_INT_RE.match(raw) or _FLOAT_RE.match(raw)):
+            raise SpecError(f"temperature must be a number, got {raw!r}")
+        return float(raw)
+    lowered = raw.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    if _INT_RE.match(raw):
+        return int(raw)
+    if _FLOAT_RE.match(raw):
+        return float(raw)
+    return raw
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if hasattr(value, "value"):  # enums (e.g. RollbackPolicy)
+        return str(value.value)
+    return str(value)
+
+
+def arm_label(spec: EngineSpec | str, model: str) -> str:
+    """The paper's arm-labelling convention, shared by campaigns and bench.
+
+    The plain standalone-LLM arm is labelled with the bare model name
+    (Fig. 8/9 call it just "GPT-4"); every other arm — including a
+    parameterised ``llm_only`` — is ``model+spec``.
+    """
+    spec = EngineSpec.coerce(spec)
+    if spec.name == "llm_only" and not spec.params:
+        return model
+    return f"{model}+{spec.to_string()}"

@@ -1,0 +1,58 @@
+"""Statistics helpers: rates, Wilson confidence intervals, summaries.
+
+These live in the engine layer because :mod:`repro.engine.results` (the
+canonical result model) aggregates with them; :mod:`repro.bench.stats`
+re-exports everything so bench-side imports keep working and the
+engine→bench dependency stays one-way (bench consumes engine, never the
+reverse).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RateCI:
+    rate: float
+    low: float
+    high: float
+    n: int
+
+    def __str__(self) -> str:
+        return (f"{100 * self.rate:.1f}% "
+                f"[{100 * self.low:.1f}, {100 * self.high:.1f}] (n={self.n})")
+
+
+def wilson_interval(successes: int, n: int,
+                    confidence: float = 0.95) -> RateCI:
+    """Wilson score interval for a binomial proportion."""
+    if n == 0:
+        return RateCI(0.0, 0.0, 0.0, 0)
+    z = {0.90: 1.6449, 0.95: 1.96, 0.99: 2.5758}.get(confidence, 1.96)
+    p = successes / n
+    denom = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    low = max(0.0, min(centre - margin, p))
+    high = min(1.0, max(centre + margin, p))
+    return RateCI(p, low, high, n)
+
+
+def mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def geometric_mean(values: list[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))

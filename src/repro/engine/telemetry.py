@@ -1,0 +1,158 @@
+"""Structured campaign telemetry: typed events, observers, collectors.
+
+The :class:`~repro.engine.campaign.Campaign` runner emits one event object
+per lifecycle edge — arm start/finish, case start/finish, shard-round
+finish — to every attached :class:`CampaignObserver`.  Observers are called
+under the campaign's lock (worker threads serialize through it), so simple
+observers need no synchronisation of their own; ``on_case_*`` arrival order
+between shards is scheduling-dependent, which is why :class:`TelemetryLog`
+only ever aggregates order-insensitive counts into its JSON summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TextIO
+
+
+# ---------------------------------------------------------------------------
+# Events
+
+
+@dataclass(frozen=True)
+class EngineStarted:
+    engine: str
+    cases: int
+
+
+@dataclass(frozen=True)
+class EngineFinished:
+    engine: str
+    cases: int
+    passed: int
+    acceptable: int
+    virtual_seconds: float
+
+
+@dataclass(frozen=True)
+class CaseStarted:
+    engine: str
+    case: str
+    index: int
+    total: int
+
+
+@dataclass(frozen=True)
+class CaseFinished:
+    engine: str
+    case: str
+    index: int
+    total: int
+    passed: bool
+    acceptable: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class RoundFinished:
+    """One shard of the dataset finished for one arm (progress heartbeat)."""
+
+    engine: str
+    round_index: int
+    rounds: int
+    completed: int
+    total: int
+    passed_so_far: int
+
+
+CampaignEvent = (EngineStarted | EngineFinished | CaseStarted
+                 | CaseFinished | RoundFinished)
+
+
+# ---------------------------------------------------------------------------
+# Observers
+
+
+class CampaignObserver:
+    """No-op base; override the hooks you care about."""
+
+    def on_engine_start(self, event: EngineStarted) -> None:
+        pass
+
+    def on_engine_done(self, event: EngineFinished) -> None:
+        pass
+
+    def on_case_start(self, event: CaseStarted) -> None:
+        pass
+
+    def on_case_done(self, event: CaseFinished) -> None:
+        pass
+
+    def on_round(self, event: RoundFinished) -> None:
+        pass
+
+
+@dataclass
+class TelemetryLog(CampaignObserver):
+    """Records every event and aggregates order-insensitive counters."""
+
+    events: list = field(default_factory=list)
+
+    def on_engine_start(self, event: EngineStarted) -> None:
+        self.events.append(event)
+
+    def on_engine_done(self, event: EngineFinished) -> None:
+        self.events.append(event)
+
+    def on_case_start(self, event: CaseStarted) -> None:
+        self.events.append(event)
+
+    def on_case_done(self, event: CaseFinished) -> None:
+        self.events.append(event)
+
+    def on_round(self, event: RoundFinished) -> None:
+        self.events.append(event)
+
+    # -- summaries ---------------------------------------------------------
+
+    def count(self, event_type: type) -> int:
+        return sum(isinstance(event, event_type) for event in self.events)
+
+    def to_dict(self) -> dict:
+        """Deterministic summary: counts only, never arrival order."""
+        return {
+            "engines": self.count(EngineFinished),
+            "cases_started": self.count(CaseStarted),
+            "cases_finished": self.count(CaseFinished),
+            "rounds": self.count(RoundFinished),
+        }
+
+
+class ProgressPrinter(CampaignObserver):
+    """Human-oriented progress lines for long campaign runs."""
+
+    def __init__(self, stream: TextIO | None = None, per_case: bool = False):
+        import sys
+        self.stream = stream if stream is not None else sys.stderr
+        self.per_case = per_case
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+
+    def on_engine_start(self, event: EngineStarted) -> None:
+        self._emit(f"[{event.engine}] starting: {event.cases} cases")
+
+    def on_round(self, event: RoundFinished) -> None:
+        self._emit(f"[{event.engine}] round {event.round_index + 1}"
+                   f"/{event.rounds}: {event.completed}/{event.total} cases,"
+                   f" {event.passed_so_far} passed")
+
+    def on_case_done(self, event: CaseFinished) -> None:
+        if self.per_case:
+            verdict = "pass" if event.passed else "FAIL"
+            self._emit(f"[{event.engine}]   {event.case}: {verdict} "
+                       f"({event.seconds:.1f}s virtual)")
+
+    def on_engine_done(self, event: EngineFinished) -> None:
+        self._emit(f"[{event.engine}] done: {event.passed}/{event.cases} "
+                   f"passed, {event.acceptable}/{event.cases} acceptable")

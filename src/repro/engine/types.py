@@ -1,0 +1,138 @@
+"""Request/report dataclasses: the lingua franca of every repair engine.
+
+A :class:`RepairRequest` is one unit of work — a buggy program plus the
+optional developer reference that defines "acceptable semantics" (§II-A's
+exec metric).  A :class:`RepairReport` is the scored outcome: the engine's
+raw :class:`~repro.core.pipeline.RepairOutcome` accounting plus the external
+pass/exec verdicts, ready to aggregate into
+:class:`~repro.engine.results.SystemResults` or serialize to JSON.
+
+RustBrain and all baselines speak this protocol through
+:func:`run_request`; nothing engine-specific leaks above this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..miri.errors import UbKind
+from .results import CaseResult
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """One repair task, engine-agnostic."""
+
+    name: str
+    source: str
+    difficulty: int = 2
+    category: UbKind | None = None
+    #: Developer-repaired reference; when present the report's ``acceptable``
+    #: verdict compares observable behaviour against it.
+    reference_source: str | None = None
+    index: int = 0
+
+    @classmethod
+    def from_case(cls, case, index: int = 0) -> "RepairRequest":
+        """Build a request from a :class:`~repro.corpus.case.UbCase`."""
+        return cls(name=case.name, source=case.source,
+                   difficulty=case.difficulty, category=case.category,
+                   reference_source=case.fixed_source, index=index)
+
+
+@dataclass
+class RepairReport:
+    """Scored outcome of one :class:`RepairRequest`."""
+
+    case: str
+    engine: str
+    category: UbKind | None
+    passed: bool
+    acceptable: bool
+    repaired_source: str | None
+    seconds: float
+    tokens: int
+    llm_calls: int
+    solutions_tried: int
+    steps_executed: int
+    hallucinations: int
+    rollbacks: int
+    used_knowledge_base: bool
+    used_feedback: bool
+    applied_rules: list[str] = field(default_factory=list)
+    failure_reason: str | None = None
+
+    def to_case_result(self) -> CaseResult:
+        return CaseResult(
+            case=self.case,
+            category=self.category,
+            passed=self.passed,
+            acceptable=self.acceptable,
+            seconds=self.seconds,
+            tokens=self.tokens,
+            llm_calls=self.llm_calls,
+            used_knowledge_base=self.used_knowledge_base,
+            used_feedback=self.used_feedback,
+            hallucinations=self.hallucinations,
+            rollbacks=self.rollbacks,
+            solutions_tried=self.solutions_tried,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "engine": self.engine,
+            "category": self.category.value if self.category else None,
+            "passed": self.passed,
+            "acceptable": self.acceptable,
+            "seconds": self.seconds,
+            "tokens": self.tokens,
+            "llm_calls": self.llm_calls,
+            "solutions_tried": self.solutions_tried,
+            "steps_executed": self.steps_executed,
+            "hallucinations": self.hallucinations,
+            "rollbacks": self.rollbacks,
+            "used_knowledge_base": self.used_knowledge_base,
+            "used_feedback": self.used_feedback,
+            "applied_rules": list(self.applied_rules),
+            "failure_reason": self.failure_reason,
+        }
+
+
+def run_request(engine, request: RepairRequest,
+                engine_label: str = "") -> RepairReport:
+    """Run one request through any engine and score it externally.
+
+    The pass metric is the engine's own Miri verdict; the exec metric
+    re-checks the repaired program's observable behaviour against the
+    developer reference when the request carries one.
+    """
+    # Lazy: repro.core imports the engine registry at module load, so the
+    # scoring helper must not be a module-level import here.
+    from ..core.evaluate import semantically_acceptable
+
+    outcome = engine.repair(request.source, request.difficulty)
+    acceptable = bool(
+        outcome.passed and outcome.repaired_source is not None
+        and request.reference_source is not None
+        and semantically_acceptable(outcome.repaired_source,
+                                    request.reference_source))
+    return RepairReport(
+        case=request.name,
+        engine=engine_label or type(engine).__name__,
+        category=request.category,
+        passed=outcome.passed,
+        acceptable=acceptable,
+        repaired_source=outcome.repaired_source,
+        seconds=outcome.seconds,
+        tokens=outcome.tokens,
+        llm_calls=outcome.llm_calls,
+        solutions_tried=outcome.solutions_tried,
+        steps_executed=outcome.steps_executed,
+        hallucinations=outcome.hallucinations,
+        rollbacks=outcome.rollbacks,
+        used_knowledge_base=outcome.used_knowledge_base,
+        used_feedback=outcome.used_feedback,
+        applied_rules=list(outcome.applied_rules),
+        failure_reason=outcome.failure_reason,
+    )

@@ -23,13 +23,28 @@ matching how the Miri dataset splits its folders.
 from __future__ import annotations
 
 import enum
-import itertools
+import threading
 from dataclasses import dataclass, field
 
 from ..lang.span import DUMMY_SPAN, Span
 from .errors import MiriError, UbKind
 
-_TAG_COUNTER = itertools.count(1)
+
+class _TagState(threading.local):
+    """Per-thread tag numbering, reset at the start of every execution.
+
+    Tags appear in diagnostics ("tag <8>"), and those diagnostics feed LLM
+    prompts whose token counts feed the virtual clock — so tag numbers must
+    depend only on the program being executed, never on what else ran
+    earlier in the process or concurrently on other threads (campaign
+    workers).  Real Miri likewise numbers tags per execution.
+    """
+
+    def __init__(self):
+        self.next = 1
+
+
+_TAGS = _TagState()
 
 
 class Permission(enum.Enum):
@@ -59,7 +74,14 @@ class BorrowError(Exception):
 
 
 def fresh_tag() -> int:
-    return next(_TAG_COUNTER)
+    tag = _TAGS.next
+    _TAGS.next += 1
+    return tag
+
+
+def reset_tags() -> None:
+    """Restart tag numbering; called once per interpreter execution."""
+    _TAGS.next = 1
 
 
 @dataclass

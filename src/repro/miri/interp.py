@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from ..lang import ast_nodes as ast
 from ..lang import types as ty
 from ..lang.span import DUMMY_SPAN, Span
-from .borrows import BorrowError
+from .borrows import BorrowError, reset_tags
 from .errors import (
     CompileError,
     InterpUnsupported,
@@ -186,6 +186,9 @@ class Interpreter:
                  debug: bool = False):
         self.program = program
         self.debug = debug
+        # Tag numbers surface in diagnostics; restart them so a program's
+        # report is identical no matter what executed before it.
+        reset_tags()
         self.memory = Memory()
         self.report = MiriReport()
         self.fuel = fuel

@@ -1,0 +1,239 @@
+"""Campaign runner: determinism across worker counts, telemetry, JSON."""
+
+import json
+
+import pytest
+
+from repro.corpus.dataset import Dataset, load_dataset
+from repro.engine import (Campaign, CampaignObserver, CaseFinished,
+                          CaseStarted, EngineFinished, EngineStarted,
+                          RoundFinished, SystemResults)
+from repro.miri.errors import UbKind
+
+ENGINES = ["llm_only", "rustbrain?kb=off"]
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # STACK_BORROW included deliberately: its diagnostics embed borrow-tag
+    # numbers, the state that once leaked across cases (see miri.borrows).
+    return load_dataset().subset([UbKind.UNINIT, UbKind.PANIC,
+                                  UbKind.STACK_BORROW])
+
+
+@pytest.fixture(scope="module")
+def serial_run(dataset):
+    return Campaign(ENGINES, dataset, seed=SEED, workers=1,
+                    shard_size=4).run()
+
+
+@pytest.fixture(scope="module")
+def parallel_run(dataset):
+    return Campaign(ENGINES, dataset, seed=SEED, workers=4,
+                    shard_size=4).run()
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_system_results(self, serial_run,
+                                                   parallel_run):
+        assert serial_run.by_label() == parallel_run.by_label()
+
+    def test_parallel_equals_serial_json(self, serial_run, parallel_run):
+        serial = serial_run.to_dict()
+        parallel = parallel_run.to_dict()
+        # Everything but the workers knob itself is identical.
+        assert serial["arms"] == parallel["arms"]
+        assert serial["telemetry"] == parallel["telemetry"]
+        assert json.dumps(serial["arms"], sort_keys=True) == \
+            json.dumps(parallel["arms"], sort_keys=True)
+
+    def test_rerun_is_stable(self, dataset, parallel_run):
+        again = Campaign(ENGINES, dataset, seed=SEED, workers=2,
+                         shard_size=4).run()
+        assert again.by_label() == parallel_run.by_label()
+
+    def test_different_seed_differs(self, dataset, serial_run):
+        other = Campaign(ENGINES, dataset, seed=SEED + 1, workers=1,
+                         shard_size=4).run()
+        assert other.by_label() != serial_run.by_label()
+
+    def test_reports_stay_in_dataset_order(self, dataset, parallel_run):
+        names = [case.name for case in dataset]
+        for arm in parallel_run.arms:
+            assert [report.case for report in arm.reports] == names
+
+
+class TestTelemetry:
+    def test_event_counts(self, dataset, serial_run):
+        counts = serial_run.telemetry.to_dict()
+        cases = len(dataset)
+        arms = len(ENGINES)
+        assert counts["engines"] == arms
+        assert counts["cases_started"] == arms * cases
+        assert counts["cases_finished"] == arms * cases
+        rounds_per_arm = -(-cases // 4)  # ceil for shard_size=4
+        assert counts["rounds"] == arms * rounds_per_arm
+
+    def test_observer_hooks_fire_in_order(self, dataset):
+        seen = []
+
+        class Recorder(CampaignObserver):
+            def on_engine_start(self, event):
+                assert isinstance(event, EngineStarted)
+                seen.append(("engine_start", event.engine))
+
+            def on_engine_done(self, event):
+                assert isinstance(event, EngineFinished)
+                seen.append(("engine_done", event.engine))
+
+            def on_case_start(self, event):
+                assert isinstance(event, CaseStarted)
+                seen.append(("case_start", event.case))
+
+            def on_case_done(self, event):
+                assert isinstance(event, CaseFinished)
+                seen.append(("case_done", event.case))
+
+            def on_round(self, event):
+                assert isinstance(event, RoundFinished)
+                seen.append(("round", event.round_index))
+
+        small = Dataset(tuple(list(dataset)[:3]))
+        Campaign(["llm_only"], small, seed=1, shard_size=2,
+                 observers=[Recorder()]).run()
+        # The paper's label convention: the plain llm_only arm is just the
+        # model name (shared with bench via engine.spec.arm_label).
+        assert seen[0] == ("engine_start", "gpt-4")
+        assert seen[-1] == ("engine_done", "gpt-4")
+        assert seen.count(("round", 0)) == 1 and ("round", 1) in seen
+        assert sum(1 for kind, _ in seen if kind == "case_done") == 3
+
+    def test_round_progress_monotonic(self, serial_run):
+        for arm in serial_run.arms:
+            rounds = [event for event in serial_run.telemetry.events
+                      if isinstance(event, RoundFinished)
+                      and event.engine == arm.label]
+            completed = [event.completed for event in rounds]
+            assert completed == sorted(completed)
+            assert completed[-1] == len(arm.reports)
+
+
+class TestSerialization:
+    def test_save_and_reload(self, tmp_path, serial_run):
+        path = tmp_path / "campaign.json"
+        serial_run.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.campaign/1"
+        assert payload["config"]["engines"] == ENGINES
+        assert len(payload["arms"]) == len(ENGINES)
+        for arm, spec in zip(payload["arms"], ENGINES):
+            assert arm["spec"] == spec
+            assert len(arm["cases"]) == payload["config"]["cases"]
+            assert 0.0 <= arm["summary"]["pass_rate"] <= 1.0
+
+    def test_system_results_round_trip(self, serial_run):
+        for arm in serial_run.arms:
+            reloaded = SystemResults.from_dict(arm.results.to_dict())
+            assert reloaded == arm.results
+
+    def test_adhoc_request_without_category_serializes(self):
+        from repro.engine import CaseResult, create_engine
+        from repro.engine.types import RepairRequest, run_request
+        request = RepairRequest(name="adhoc",
+                                source="fn main() { let x = 1; }")
+        report = run_request(create_engine("llm_only"), request)
+        payload = report.to_case_result().to_dict()
+        assert payload["category"] is None
+        assert CaseResult.from_dict(payload).category is None
+
+
+class TestValidation:
+    def test_no_engines_rejected(self, dataset):
+        with pytest.raises(ValueError, match="at least one"):
+            Campaign([], dataset)
+
+    def test_bare_spec_string_is_one_arm(self, dataset):
+        campaign = Campaign("llm_only", dataset)
+        assert [spec.name for spec in campaign.specs] == ["llm_only"]
+
+    def test_spec_pinned_seed_keeps_per_case_derivation(self, dataset):
+        # "llm_only?seed=7" sets the arm's BASE seed; cases must still get
+        # independently derived seeds (and stay worker-invariant).
+        small = Dataset(tuple(list(dataset)[:6]))
+        pinned = Campaign(["llm_only?seed=7"], small).run()
+        parallel = Campaign(["llm_only?seed=7"], small, workers=3,
+                            shard_size=2).run()
+        base = Campaign(["llm_only"], small, seed=7).run()
+        assert pinned.arms[0].reports == parallel.arms[0].reports
+        # Same base seed by either route => identical per-case outcomes.
+        assert [r.to_dict() for r in pinned.arms[0].reports] == \
+            [r.to_dict() | {"engine": pinned.arms[0].label}
+             for r in base.arms[0].reports]
+
+    def test_rerun_gets_fresh_telemetry(self, dataset):
+        small = Dataset(tuple(list(dataset)[:2]))
+        campaign = Campaign(["llm_only"], small, seed=1)
+        first = campaign.run()
+        second = campaign.run()
+        assert first.telemetry is not second.telemetry
+        assert first.telemetry.to_dict() == second.telemetry.to_dict()
+        assert second.telemetry.to_dict()["cases_finished"] == 2
+
+    def test_bad_workers_rejected(self, dataset):
+        with pytest.raises(ValueError, match="workers"):
+            Campaign(ENGINES, dataset, workers=0)
+
+    def test_bad_spec_rejected(self, dataset):
+        from repro.engine import SpecError
+        with pytest.raises(SpecError):
+            Campaign(["rustbrain?kb"], dataset)
+
+    def test_unknown_engine_fails_fast(self, dataset):
+        # Construction must reject arm 2, not burn arm 1's sweep first.
+        from repro.engine import UnknownEngineError
+        with pytest.raises(UnknownEngineError):
+            Campaign(["llm_only", "quantum_typo"], dataset)
+
+    def test_unknown_config_key_fails_fast(self, dataset):
+        from repro.engine import EngineConfigError
+        with pytest.raises(EngineConfigError):
+            Campaign(["llm_only?n_solutions=3"], dataset)
+
+    def test_bad_isolation_rejected(self, dataset):
+        with pytest.raises(ValueError, match="isolation"):
+            Campaign(ENGINES, dataset, isolation="quantum")
+
+    def test_shared_isolation_requires_serial(self, dataset):
+        with pytest.raises(ValueError, match="workers=1"):
+            Campaign(ENGINES, dataset, isolation="shared", workers=4)
+
+
+class TestSharedIsolation:
+    def test_matches_legacy_stateful_sweep(self, dataset):
+        from repro.bench.experiments import evaluate_spec
+        shared = Campaign(["rustbrain"], dataset, seed=SEED,
+                          isolation="shared").run()
+        legacy = evaluate_spec("rustbrain", seed=SEED, dataset=dataset)
+        assert shared.arms[0].results == legacy
+
+    def test_feedback_accumulates_across_cases(self):
+        # The RQ2 self-learning effect needs cross-case state: at least one
+        # later case must be repaired via recalled feedback.
+        subset = load_dataset().subset([UbKind.UNINIT,
+                                        UbKind.DANGLING_POINTER])
+        run = Campaign(["rustbrain"], subset, seed=13,
+                       isolation="shared").run()
+        assert any(report.used_feedback for report in run.arms[0].reports)
+
+
+class TestLegacyShims:
+    def test_evaluate_system_matches_run_cases(self, dataset):
+        from repro.bench.experiments import evaluate_system, make_system
+        from repro.engine import run_cases
+        legacy = evaluate_system(make_system("llm_only", seed=2), dataset,
+                                 label="arm")
+        modern = run_cases(make_system("llm_only", seed=2), dataset, "arm")
+        assert legacy == modern
+        assert legacy.system == "arm"
+        assert len(legacy.results) == len(dataset)

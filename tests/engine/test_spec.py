@@ -1,0 +1,123 @@
+"""EngineSpec: parsing, formatting round-trips, typed coercion."""
+
+import pytest
+
+from repro.core.agents.rollback import RollbackPolicy
+from repro.engine import EngineSpec, SpecError
+
+
+class TestParsing:
+    def test_bare_name(self):
+        spec = EngineSpec.parse("rustbrain")
+        assert spec.name == "rustbrain"
+        assert spec.params == ()
+
+    @pytest.mark.parametrize("text", [
+        "rustbrain",
+        "rustbrain?kb=off",
+        "rustbrain?kb=off&rollback=none&temperature=0.2",
+        "llm_only?attempts=5&model=gpt-3.5",
+        "rustbrain_nokb?n_solutions=10&seed=42",
+    ])
+    def test_round_trip(self, text):
+        assert EngineSpec.parse(text).to_string() == text
+        # Parsing the formatted form is a fixed point.
+        assert EngineSpec.parse(EngineSpec.parse(text).to_string()) == \
+            EngineSpec.parse(text)
+
+    def test_whitespace_stripped(self):
+        assert EngineSpec.parse("  rustbrain ").name == "rustbrain"
+
+    @pytest.mark.parametrize("bad", [
+        "", "?kb=off", "Rustbrain", "rust brain", "rustbrain?kb",
+        "rustbrain?=off", "rustbrain?kb=",
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(SpecError):
+            EngineSpec.parse(bad)
+
+    def test_spec_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            EngineSpec.parse("?")
+
+
+class TestCoercion:
+    def test_aliases_expand(self):
+        spec = EngineSpec.parse("rustbrain?kb=off&feedback=on&pruning=off")
+        assert spec.overrides() == {"use_knowledge_base": False,
+                                    "use_feedback": True,
+                                    "use_pruning": False}
+
+    def test_value_shapes(self):
+        spec = EngineSpec.parse(
+            "rustbrain?n_solutions=10&kb_coverage=0.8&max_rounds=3")
+        assert spec.overrides() == {"n_solutions": 10, "kb_coverage": 0.8,
+                                    "max_rounds": 3}
+
+    @pytest.mark.parametrize("raw,policy", [
+        ("none", RollbackPolicy.NONE),
+        ("initial", RollbackPolicy.INITIAL),
+        ("adaptive", RollbackPolicy.ADAPTIVE),
+    ])
+    def test_rollback_policy(self, raw, policy):
+        spec = EngineSpec.parse(f"rustbrain?rollback={raw}")
+        assert spec.overrides() == {"rollback": policy}
+
+    def test_unknown_rollback_policy_raises(self):
+        with pytest.raises(SpecError, match="rollback"):
+            EngineSpec.parse("rustbrain?rollback=sideways").overrides()
+
+    def test_reserved_keys_split_out(self):
+        spec = EngineSpec.parse(
+            "rustbrain?model=gpt-o1&seed=7&temperature=0.3&kb=off")
+        assert spec.factory_kwargs() == {"model": "gpt-o1", "seed": 7,
+                                         "temperature": 0.3}
+        assert spec.overrides() == {"use_knowledge_base": False}
+
+    def test_model_value_never_coerced(self):
+        # A numeric-looking model name stays a string.
+        spec = EngineSpec.parse("llm_only?model=4")
+        assert spec.factory_kwargs() == {"model": "4"}
+
+    def test_scientific_notation_floats(self):
+        spec = EngineSpec.parse("rustbrain?temperature=2.5e-1")
+        assert spec.factory_kwargs() == {"temperature": 0.25}
+        assert EngineSpec.parse("rustbrain?kb_coverage=1e-1").overrides() \
+            == {"kb_coverage": 0.1}
+
+    @pytest.mark.parametrize("bad", [
+        "rustbrain?seed=abc", "rustbrain?temperature=warm",
+    ])
+    def test_non_numeric_reserved_values_raise(self, bad):
+        with pytest.raises(SpecError):
+            EngineSpec.parse(bad).factory_kwargs()
+
+
+class TestArmLabel:
+    def test_paper_convention(self):
+        from repro.engine.spec import arm_label
+        assert arm_label("llm_only", "gpt-4") == "gpt-4"
+        assert arm_label("rustbrain", "gpt-4") == "gpt-4+rustbrain"
+        assert arm_label("rustbrain?kb=off", "gpt-4") == \
+            "gpt-4+rustbrain?kb=off"
+        # A parameterised llm_only arm is no longer the plain baseline.
+        assert arm_label("llm_only?attempts=5", "gpt-4") == \
+            "gpt-4+llm_only?attempts=5"
+
+    def test_shared_with_bench(self):
+        from repro.bench.experiments import arm_label as bench_label
+        from repro.engine.spec import arm_label
+        assert bench_label is arm_label
+
+
+class TestMake:
+    def test_make_formats_types(self):
+        spec = EngineSpec.make("rustbrain", kb=False, temperature=0.2,
+                               rollback=RollbackPolicy.NONE, n_solutions=10)
+        assert spec.to_string() == \
+            "rustbrain?kb=off&temperature=0.2&rollback=none&n_solutions=10"
+        # And the formatted form coerces back to the same typed values.
+        assert spec.overrides() == {"use_knowledge_base": False,
+                                    "rollback": RollbackPolicy.NONE,
+                                    "n_solutions": 10}
+        assert spec.factory_kwargs() == {"temperature": 0.2}

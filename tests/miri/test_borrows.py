@@ -116,3 +116,43 @@ class TestInvalidation:
         assert stack.depth() == 2
         assert not stack.grants(t2)
         assert not stack.grants(t3)
+
+
+class TestTagIsolation:
+    """Tag numbering restarts per execution: diagnostics (and therefore
+    prompt token counts) depend only on the program, never on what else
+    ran earlier in the process or on another thread."""
+
+    BUGGY = '''
+fn main() {
+    let mut x = 5;
+    let p = &mut x as *mut i32;
+    let r = &mut x;
+    *r += 1;
+    let v = unsafe { *p };
+}'''
+
+    def test_report_identical_after_other_runs(self):
+        from repro.miri import detect_ub
+        first = detect_ub(self.BUGGY).render()
+        for _ in range(5):
+            detect_ub('fn main() { let a = &mut 1; let b = &mut 2; }')
+        assert detect_ub(self.BUGGY).render() == first
+
+    def test_reports_identical_across_threads(self):
+        import threading
+        from repro.miri import detect_ub
+        results = {}
+
+        def work(key, warmups):
+            for _ in range(warmups):
+                detect_ub('fn main() { let r = &mut 3; *r += 1; }')
+            results[key] = detect_ub(self.BUGGY).render()
+
+        threads = [threading.Thread(target=work, args=(n, n * 3))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results.values())) == 1

@@ -67,6 +67,111 @@ class TestDataset:
         assert "datarace" not in out
 
 
+class TestMissingFile:
+    """A missing path exits 2 with a clean message, not a traceback."""
+
+    def test_detect_missing_file(self, capsys):
+        assert main(["detect", "/no/such/file.rs"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "/no/such/file.rs" in err
+
+    def test_repair_missing_file(self, capsys):
+        assert main(["repair", "/no/such/file.rs"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_directory_is_clean_error(self, tmp_path, capsys):
+        assert main(["detect", str(tmp_path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_utf8_file_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "binary.rs"
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        assert main(["detect", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestEngines:
+    def test_lists_registered_engines(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rustbrain", "llm_only", "rustassistant",
+                     "rustbrain_nokb"):
+            assert name in out
+        assert "engines registered" in out
+
+
+class TestEngineFlag:
+    def test_repair_with_engine_spec(self, buggy_file):
+        assert main(["repair", buggy_file, "--engine", "rustbrain?kb=off",
+                     "--seed", "3"]) in (0, 1)
+
+    def test_repair_with_baseline_engine(self, buggy_file):
+        assert main(["repair", buggy_file, "--engine", "llm_only",
+                     "--seed", "3"]) in (0, 1)
+
+    def test_unknown_engine_exit_2(self, buggy_file, capsys):
+        assert main(["repair", buggy_file, "--engine", "quantum"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_malformed_spec_exit_2(self, buggy_file, capsys):
+        assert main(["repair", buggy_file, "--engine", "rustbrain?kb"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_spec_overriding_flag_warns(self, buggy_file, capsys):
+        main(["repair", buggy_file, "--engine", "rustbrain?seed=3",
+              "--seed", "7"])
+        err = capsys.readouterr().err
+        assert "warning" in err and "--seed 7" in err
+
+    def test_spec_overriding_no_kb_warns(self, buggy_file, capsys):
+        main(["repair", buggy_file, "--engine", "rustbrain?kb=on",
+              "--no-kb", "--seed", "3"])
+        assert "--no-kb is overridden" in capsys.readouterr().err
+
+    def test_equal_values_do_not_warn(self, buggy_file, capsys):
+        # 2e-1 and 0.2 are the same temperature; no spurious warning.
+        main(["repair", buggy_file, "--engine", "rustbrain?temperature=2e-1",
+              "--temperature", "0.2", "--seed", "3"])
+        assert "warning" not in capsys.readouterr().err
+
+    def test_no_kb_rejected_for_non_rustbrain(self, buggy_file, capsys):
+        assert main(["repair", buggy_file, "--engine", "llm_only",
+                     "--no-kb"]) == 2
+        assert "--no-kb only applies" in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_campaign_runs_and_writes_json(self, tmp_path, capsys):
+        out_json = tmp_path / "campaign.json"
+        code = main(["campaign", "--engine", "llm_only",
+                     "--engine", "rustbrain?kb=off",
+                     "--category", "uninit", "--workers", "2",
+                     "--quiet", "--json", str(out_json)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Campaign" in out
+        assert out_json.exists()
+        import json
+        payload = json.loads(out_json.read_text())
+        assert payload["config"]["workers"] == 2
+        assert len(payload["arms"]) == 2
+
+    def test_unknown_engine_exit_2(self, capsys):
+        assert main(["campaign", "--engine", "quantum", "--quiet"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unknown_category_exit_2(self, capsys):
+        assert main(["campaign", "--engine", "llm_only",
+                     "--category", "warp", "--quiet"]) == 2
+
+    def test_unwritable_json_exit_2(self, capsys):
+        assert main(["campaign", "--engine", "llm_only",
+                     "--category", "uninit", "--quiet",
+                     "--json", "/no/such/dir/out.json"]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
