@@ -2,22 +2,30 @@
 """Repair campaign: sweep engine arms over a slice of the Miri-style corpus.
 
 Reproduces, in miniature, the paper's RQ2 experiment through the engine
-API: two arms declared as spec strings (with / without the knowledge base),
-run with ``isolation="shared"`` — one stateful engine per arm, so the
-self-learning feedback memory visibly kicks in on the later, similar cases
-(the ``feedback`` marks in the assist column).  The finished run serializes
-to ``campaign.json``, the same artifact ``repro campaign --json`` writes.
+API, then shows the execution layer's two scaling tools:
 
-For throughput instead of statefulness, switch to the default
-``isolation="per_case"`` and raise ``workers`` — per-case derived seeds
-make a 4-worker run byte-identical to a serial one.
+1. **Shared isolation** — two arms declared as spec strings (with /
+   without the knowledge base), each a stateful engine walking the cases
+   in order so the self-learning feedback memory visibly kicks in on the
+   later, similar cases (the ``feedback`` marks in the assist column).
+   ``workers=2`` with the process executor runs the two whole arms in
+   parallel without touching their serial in-arm semantics.
+2. **Per-case isolation + result cache** — a process-pool sweep with a
+   content-addressed cache: the first run executes every case, the rerun
+   is answered entirely from disk (watch the hit/miss line), and both
+   produce byte-identical reports.
+
+The finished run serializes to ``campaign.json``, the same artifact
+``repro campaign --json`` writes.
 
 Run:  python examples/repair_campaign.py
 """
 
+import tempfile
+
 from repro.bench.reporting import render_table
 from repro.corpus.dataset import load_dataset
-from repro.engine import Campaign, ProgressPrinter
+from repro.engine import Campaign, ProgressPrinter, ResultCache
 from repro.miri.errors import UbKind
 
 CATEGORIES = [UbKind.UNINIT, UbKind.DANGLING_POINTER]
@@ -26,7 +34,9 @@ ENGINES = ["rustbrain?kb=off", "rustbrain"]
 
 def main() -> None:
     dataset = load_dataset().subset(CATEGORIES)
+    # Stateful arms; the process pool parallelises ACROSS the two arms.
     campaign = Campaign(ENGINES, dataset, seed=13, isolation="shared",
+                        workers=2, executor="process",
                         observers=[ProgressPrinter()])
     result = campaign.run()
 
@@ -49,6 +59,17 @@ def main() -> None:
 
     result.save("campaign.json")
     print("full trajectory written to campaign.json")
+
+    # Per-case isolation parallelises freely and caches per case: the
+    # rerun below performs zero engine executions.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        for attempt in ("cold", "warm"):
+            run = Campaign(ENGINES, dataset, seed=13, workers=4,
+                           executor="process", cache=cache).run()
+            hits, misses = run.telemetry.cache_counts()
+            print(f"{attempt} per-case sweep: {hits} cache hits, "
+                  f"{misses} misses")
 
 
 if __name__ == "__main__":

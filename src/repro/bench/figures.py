@@ -7,6 +7,7 @@ and assert the paper-shape claims; ``EXPERIMENTS.md`` records the outputs).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -15,10 +16,11 @@ from ..corpus.dataset import Dataset, load_dataset
 from ..core.pipeline import RustBrain, RustBrainConfig
 from ..core.evaluate import semantically_acceptable
 from ..core.solution import decompose
+from ..engine.cache import ResultCache
+from ..engine.campaign import Campaign
 from ..engine.spec import EngineSpec
 from ..miri.errors import PAPER_CATEGORIES, UbKind
-from .experiments import SystemResults, arm_label, evaluate_arm, \
-    evaluate_spec
+from .experiments import SystemResults, arm_label
 from .stats import RateCI, mean, wilson_interval
 
 #: Seeds averaged in the headline numbers (repeat-sampling per §IV RQ3).
@@ -66,15 +68,82 @@ def _summarize(label: str, runs: list[SystemResults]) -> ArmSummary:
     )
 
 
+#: Executor for figure regeneration.  Stateful per-seed sweeps cannot split
+#: within an arm, but one-arm-per-seed campaigns parallelise across arms —
+#: "process" saturates the cores; set REPRO_FIGURES_EXECUTOR=serial to
+#: fall back to fully in-process runs (e.g. when debugging an engine).
+_FIGURES_EXECUTOR = os.environ.get("REPRO_FIGURES_EXECUTOR", "process")
+
+#: In-process memo: the same (spec, model, seeds, temperature, dataset) arm
+#: is referenced by several figures (fig8, fig12, Table I, the ablations) —
+#: each used to recompute the full repeat-sampled sweep from scratch.
+_ARM_MEMO: dict = {}
+
+
+@lru_cache(maxsize=1)
+def _figures_cache() -> ResultCache | None:
+    """Optional on-disk result cache for figure regeneration.
+
+    Opt-in via ``REPRO_CACHE_DIR`` — arm-level entries make re-generating
+    every figure a pure replay.  Off by default: cached reports are only
+    valid while engine behaviour is unchanged, so a persistent cache is a
+    tool for sweeping parameters, not for CI.
+    """
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(root) if root else None
+
+
+def _seed_campaign(arm_specs, dataset: Dataset, model: str,
+                   temperature: float) -> Campaign:
+    """A shared-isolation campaign fanning one stateful arm per seed."""
+    workers = 1
+    executor = _FIGURES_EXECUTOR
+    if executor == "process" and len(arm_specs) > 1:
+        workers = min(len(arm_specs), os.cpu_count() or 1)
+    return Campaign(arm_specs, dataset, model=model, temperature=temperature,
+                    isolation="shared", executor=executor, workers=workers,
+                    cache=_figures_cache())
+
+
 def run_arm(kind: str, model: str, seeds=DEFAULT_SEEDS,
             dataset: Dataset | None = None, temperature: float = 0.5,
             **overrides) -> ArmSummary:
-    """Repeat-sample one arm across seeds via the engine registry."""
+    """Repeat-sample one arm across seeds, one Campaign arm per seed.
+
+    Each arm keeps the paper's stateful shared-isolation semantics (the
+    numbers are bit-identical to the old serial ``evaluate_spec`` loop);
+    with the process executor the per-seed sweeps run in parallel, repeated
+    references to the same arm are served from the in-process memo, and an
+    optional ``REPRO_CACHE_DIR`` result cache survives across processes.
+    """
     spec = EngineSpec.coerce(kind)
-    runs = [evaluate_spec(spec, model=model, seed=seed, dataset=dataset,
-                          temperature=temperature, overrides=overrides)
-            for seed in seeds]
-    return _summarize(arm_label(spec, model), runs)
+    if "seed" in spec.factory_kwargs():
+        raise ValueError(
+            f"spec {spec} pins its own seed; run_arm derives one arm per "
+            f"seed in {seeds}")
+    dataset = dataset if dataset is not None else load_dataset()
+    label = arm_label(spec, model)
+    memo_key = (spec.to_string(), tuple(sorted(overrides.items())), model,
+                tuple(seeds), temperature, dataset)
+    cached = _ARM_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    # Overrides become spec params *before* the original params so an
+    # explicitly-parameterised spec keeps precedence, matching the old
+    # create_engine(spec, **overrides) merge order.
+    extra = EngineSpec.make(spec.name, **overrides).params
+    arm_specs = [EngineSpec(spec.name,
+                            extra + spec.params + (("seed", str(seed)),))
+                 for seed in seeds]
+    result = _seed_campaign(arm_specs, dataset, model, temperature).run()
+    runs = []
+    for arm in result.arms:
+        results = arm.results
+        results.system = label  # per-seed arms all report as the base arm
+        runs.append(results)
+    summary = _summarize(label, runs)
+    _ARM_MEMO[memo_key] = summary
+    return summary
 
 
 # ---------------------------------------------------------------------------
@@ -196,16 +265,24 @@ class TemperaturePoint:
 
 @lru_cache(maxsize=1)
 def fig11_data(seeds=(3, 11, 23, 31)) -> list[TemperaturePoint]:
+    # One campaign, one stateful arm per (temperature, seed) pair — the
+    # whole 9x4 sweep fans out across the process pool at once instead of
+    # grinding through 36 serial dataset sweeps.
     dataset = load_dataset()
+    arm_specs = [EngineSpec.make("rustbrain", seed=seed,
+                                 temperature=temperature)
+                 for temperature in FIG11_TEMPERATURES for seed in seeds]
+    result = _seed_campaign(arm_specs, dataset, model="gpt-4",
+                            temperature=0.5).run()
+    arms = iter(result.arms)  # completed in spec order
     points = []
     for temperature in FIG11_TEMPERATURES:
         passes = execs = total = 0
-        for seed in seeds:
-            run = evaluate_arm("rustbrain", model="gpt-4", seed=seed,
-                               temperature=temperature, dataset=dataset)
-            passes += sum(r.passed for r in run.results)
-            execs += sum(r.acceptable for r in run.results)
-            total += len(run.results)
+        for _seed in seeds:
+            arm = next(arms)
+            passes += sum(r.passed for r in arm.reports)
+            execs += sum(r.acceptable for r in arm.reports)
+            total += len(arm.reports)
         points.append(TemperaturePoint(
             temperature,
             wilson_interval(passes, total),

@@ -182,6 +182,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     for spec in args.engine:
         _warn_spec_overrides(spec, args)
     observers = [] if args.quiet else [ProgressPrinter()]
+    # --cache-dir (or the REPRO_CACHE_DIR environment default) enables the
+    # content-addressed result cache; --no-cache beats both.
+    import os
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     try:
         # Construction fails fast on unknown engines / bad spec options;
         # run() errors past this point are genuine bugs, not usage errors.
@@ -189,8 +195,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                             seed=args.seed, temperature=args.temperature,
                             workers=args.workers,
                             shard_size=args.shard_size,
-                            isolation=args.isolation, observers=observers)
-    except (SpecError, UnknownEngineError, ValueError) as exc:
+                            isolation=args.isolation,
+                            executor=args.executor,
+                            cache_dir=cache_dir, observers=observers)
+    except (SpecError, UnknownEngineError, ValueError, OSError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     result = campaign.run()
@@ -205,6 +213,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                      f"{len(results.results)}"])
     print(render_table(["arm", "pass %", "exec %", "mean s", "cases"],
                        rows, title="Campaign"))
+    if cache_dir is not None:
+        hits, misses = result.telemetry.cache_counts()
+        print(f"cache: {hits} hits, {misses} misses ({cache_dir})")
     if args.json:
         try:
             result.save(args.json)
@@ -303,7 +314,20 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("per_case", "shared"),
                             help="per_case: fresh engine + derived seed per "
                                  "case (parallel-safe); shared: one stateful "
-                                 "engine per arm, serial")
+                                 "engine per arm, serial within the arm")
+    p_campaign.add_argument("--executor", default="thread",
+                            choices=("serial", "thread", "process"),
+                            help="worker pool backend; 'process' gives real "
+                                 "multi-core parallelism for the CPU-bound "
+                                 "repair pipeline (results are byte-"
+                                 "identical across backends)")
+    p_campaign.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="consult/populate a content-addressed "
+                                 "result cache (default: $REPRO_CACHE_DIR "
+                                 "when set)")
+    p_campaign.add_argument("--no-cache", action="store_true",
+                            help="disable the result cache even when "
+                                 "REPRO_CACHE_DIR is set")
     p_campaign.add_argument("--category", action="append",
                             help="restrict to a UB category (repeatable)")
     p_campaign.add_argument("--json", default=None, metavar="PATH",

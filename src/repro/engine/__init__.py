@@ -17,27 +17,32 @@ Arms register themselves where they are implemented
 registry imports those modules lazily on first lookup.
 """
 
-from .campaign import (ArmRun, Campaign, CampaignResult, case_seed,
-                       run_cases)
+from .cache import (CACHE_SCHEMA, ResultCache, arm_key, case_key,
+                    fingerprint_case, fingerprint_dataset)
+from .campaign import (EXECUTORS, ArmRun, Campaign, CampaignResult,
+                       case_seed, run_cases)
 from .registry import (REGISTRY, EngineConfigError, EngineInfo,
                        EngineRegistry, RepairEngine, UnknownEngineError,
                        apply_config_overrides, available_engines,
                        create_engine, register_engine)
 from .results import CaseResult, SystemResults
 from .spec import EngineSpec, SpecError
-from .telemetry import (CampaignObserver, CaseFinished, CaseStarted,
-                        EngineFinished, EngineStarted, ProgressPrinter,
-                        RoundFinished, TelemetryLog)
+from .telemetry import (CacheQueried, CampaignObserver, CaseFinished,
+                        CaseStarted, EngineFinished, EngineStarted,
+                        ProgressPrinter, RoundFinished, TelemetryLog)
 from .types import RepairReport, RepairRequest, run_request
 
 __all__ = [
     "ArmRun",
+    "CACHE_SCHEMA",
+    "CacheQueried",
     "Campaign",
     "CampaignObserver",
     "CampaignResult",
     "CaseFinished",
     "CaseResult",
     "CaseStarted",
+    "EXECUTORS",
     "EngineConfigError",
     "EngineFinished",
     "EngineInfo",
@@ -49,15 +54,20 @@ __all__ = [
     "RepairEngine",
     "RepairReport",
     "RepairRequest",
+    "ResultCache",
     "RoundFinished",
     "SpecError",
     "SystemResults",
     "TelemetryLog",
     "UnknownEngineError",
     "apply_config_overrides",
+    "arm_key",
     "available_engines",
+    "case_key",
     "case_seed",
     "create_engine",
+    "fingerprint_case",
+    "fingerprint_dataset",
     "register_engine",
     "run_cases",
     "run_request",

@@ -1,0 +1,153 @@
+"""Content-addressed on-disk result cache for campaign runs.
+
+Every case a campaign executes is a pure function of its inputs: the engine
+spec, the model, the case itself, the derived seed, and the sampling
+temperature fully determine the :class:`~repro.engine.types.RepairReport`
+(that invariant is what makes worker-count-invariant campaigns possible in
+the first place).  The cache exploits it: a key is the SHA-256 digest of
+exactly those inputs, the value is the serialized report(s), and a warm
+re-run of an identical campaign performs zero engine case executions.
+
+Two key granularities cover the two isolation modes:
+
+* :func:`case_key` — one per-case entry for ``isolation="per_case"``, keyed
+  on the *derived* per-case seed so hits survive re-sharding and different
+  worker counts.
+* :func:`arm_key` — one whole-arm entry for ``isolation="shared"``, where a
+  case's outcome depends on the stateful engine's history and is only
+  reproducible as part of the full dataset sweep (same spec, base seed, and
+  dataset fingerprint).
+
+Entries are JSON files under ``root/<key[:2]>/<key>.json``, written
+atomically (temp file + ``os.replace``) so concurrent thread- or
+process-pool workers can race on the same key without torn reads; both
+racers write identical bytes.  A small in-memory layer makes repeated hits
+within one process free.  Corrupt or schema-mismatched entries read as
+misses and are recomputed, never trusted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from .types import RepairReport
+
+#: Bump when the key material or entry layout changes; old entries then
+#: read as misses instead of being misinterpreted.
+CACHE_SCHEMA = "repro.result-cache/1"
+
+_SEP = "\x1f"  # unit separator: cannot appear in specs, names, or numbers
+
+
+def _digest(*parts: str) -> str:
+    return hashlib.sha256(_SEP.join(parts).encode("utf-8")).hexdigest()
+
+
+def fingerprint_case(name: str, source: str, reference_source: str | None,
+                     difficulty: int, category) -> str:
+    """Digest of everything about a case that can influence its report."""
+    return _digest(
+        "case", name, source, reference_source or "",
+        str(difficulty), category.value if category is not None else "")
+
+
+def fingerprint_dataset(cases) -> str:
+    """Order-sensitive digest of a whole dataset (shared-isolation sweeps
+    are stateful, so case order is part of the arm's identity)."""
+    return _digest("dataset", *(fingerprint_case(
+        case.name, case.source, case.fixed_source, case.difficulty,
+        case.category) for case in cases))
+
+
+def case_key(spec: str, model: str, temperature: float, derived_seed: int,
+             case_fingerprint: str) -> str:
+    """Cache key for one per-case-isolation execution."""
+    return _digest(CACHE_SCHEMA, "case", spec, model,
+                   f"{temperature:.6g}", str(derived_seed), case_fingerprint)
+
+
+def arm_key(spec: str, model: str, temperature: float, base_seed: int,
+            dataset_fingerprint: str) -> str:
+    """Cache key for one shared-isolation (stateful) arm sweep."""
+    return _digest(CACHE_SCHEMA, "arm", spec, model,
+                   f"{temperature:.6g}", str(base_seed), dataset_fingerprint)
+
+
+class ResultCache:
+    """Keyed store of repair reports with hit/miss accounting.
+
+    Values are *lists* of reports: length one for per-case entries, the
+    full dataset-ordered sweep for arm entries.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        #: Per-process read-through layer; disk stays the source of truth.
+        self._memory: dict[str, list[RepairReport]] = {}
+
+    # -- paths -------------------------------------------------------------
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> list[RepairReport] | None:
+        """The cached reports for ``key``, or ``None`` on a miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return list(cached)
+        try:
+            payload = json.loads(self._path(key).read_text(encoding="utf-8"))
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError("cache schema mismatch")
+            reports = [RepairReport.from_dict(entry)
+                       for entry in payload["reports"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, or from an incompatible schema: recompute.
+            self.misses += 1
+            return None
+        self._memory[key] = list(reports)
+        self.hits += 1
+        return reports
+
+    def put(self, key: str, reports: list[RepairReport]) -> None:
+        """Store ``reports`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"schema": CACHE_SCHEMA,
+             "reports": [report.to_dict() for report in reports]},
+            sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self._memory[key] = list(reports)
+
+    # -- maintenance -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> None:
+        for entry in self.root.glob("*/*.json"):
+            with contextlib.suppress(OSError):
+                entry.unlink()
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0

@@ -2,38 +2,67 @@
 
 A :class:`Campaign` evaluates one or more engine specs over a
 :class:`~repro.corpus.dataset.Dataset`.  The dataset is split into
-contiguous shards which a ``concurrent.futures`` thread pool drains; every
-case gets a **fresh engine instance with a per-case derived seed**, so the
+contiguous shards which a ``concurrent.futures`` pool drains; every case
+gets a **fresh engine instance with a per-case derived seed**, so the
 outcome of a case depends only on ``(spec, model, campaign seed, case
-index)`` — never on scheduling — and a 4-worker run is byte-identical to a
-serial one.  Progress surfaces through the structured observer events in
+index)`` — never on scheduling — and a pooled run is byte-identical to a
+serial one at any worker count.
+
+Three execution backends share that invariant (``executor=``):
+
+* ``"serial"`` — in-process, no pool; the reference semantics.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Case
+  execution is pure-Python CPU-bound, so threads mostly help when observers
+  or the cache do I/O; kept as the low-overhead default.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` over
+  picklable shard tasks: real multi-core parallelism for the parse →
+  interpret → repair pipeline.  Workers return plain
+  :class:`~repro.engine.types.RepairReport` lists; all telemetry is emitted
+  in the parent in deterministic (submission) order.
+
+A :class:`~repro.engine.cache.ResultCache` (``cache=``/``cache_dir=``) is
+consulted in the parent before any case is dispatched: hits are replayed
+from disk (with ``on_cache`` telemetry), only misses reach the pool, and
+fresh reports are written back — so a warm re-run of an identical campaign
+performs zero engine case executions.
+
+Progress surfaces through the structured observer events in
 :mod:`repro.engine.telemetry`, and a finished run serializes to JSON
 (``campaign.json``) for the ``BENCH_*`` trajectory.
 
 The legacy stateful path — one shared engine walked serially over the
 dataset, accumulating feedback memory across cases — lives on as
-:func:`run_cases`; ``repro.bench.experiments.evaluate_system`` delegates to
-it, which keeps every seed benchmark bit-for-bit unchanged.
+:func:`run_cases` and as ``isolation="shared"``.  A shared sweep is
+order-dependent by design, so within an arm it always runs serially
+(``workers > 1`` falls back with a warning); with ``executor="process"``
+and several arms, whole arms run in parallel instead — each arm keeps its
+exact stateful semantics while the pool stays saturated, which is how the
+benchmark figures fan their per-seed repeat samples out.
 """
 
 from __future__ import annotations
 
 import json
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..corpus.dataset import Dataset, load_dataset
+from .cache import (ResultCache, arm_key, case_key, fingerprint_case,
+                    fingerprint_dataset)
 from .registry import create_engine
 from .results import SystemResults
 from .spec import EngineSpec, arm_label
-from .telemetry import (CampaignObserver, CaseFinished, CaseStarted,
-                        EngineFinished, EngineStarted, RoundFinished,
-                        TelemetryLog)
+from .telemetry import (CacheQueried, CampaignObserver, CaseFinished,
+                        CaseStarted, EngineFinished, EngineStarted,
+                        RoundFinished, TelemetryLog)
 from .types import RepairReport, RepairRequest, run_request
 
 #: Multiplier decorrelating per-case seeds from neighbouring campaign seeds.
 _CASE_SEED_STRIDE = 100_003
+
+EXECUTORS = ("serial", "thread", "process")
 
 
 def case_seed(campaign_seed: int, index: int) -> int:
@@ -54,6 +83,35 @@ def run_cases(engine, dataset: Dataset, label: str) -> SystemResults:
                              engine_label=label)
         results.results.append(report.to_case_result())
     return results
+
+
+# ---------------------------------------------------------------------------
+# Picklable process-pool tasks.  Workers rebuild engines from spec strings
+# (the registry re-imports lazily in spawned children) and return plain
+# report lists; no locks, observers, or caches ever cross the boundary.
+
+
+def _execute_case_batch(spec: str, label: str, model: str, temperature: float,
+                        base_seed: int, items: list) -> list[RepairReport]:
+    """Run a shard of ``(index, case)`` pairs with per-case engines."""
+    reports = []
+    for index, case in items:
+        engine = create_engine(spec, model=model,
+                               seed=case_seed(base_seed, index),
+                               temperature=temperature)
+        reports.append(run_request(engine, RepairRequest.from_case(case, index),
+                                   engine_label=label))
+    return reports
+
+
+def _execute_shared_arm(spec: str, label: str, model: str, temperature: float,
+                        base_seed: int, cases: list) -> list[RepairReport]:
+    """Run one whole stateful arm serially (shared-isolation semantics)."""
+    engine = create_engine(spec, model=model, seed=base_seed,
+                           temperature=temperature)
+    return [run_request(engine, RepairRequest.from_case(case, index),
+                        engine_label=label)
+            for index, case in enumerate(cases)]
 
 
 @dataclass
@@ -98,7 +156,7 @@ class CampaignResult:
 
     def to_dict(self) -> dict:
         return {
-            "schema": "repro.campaign/1",
+            "schema": "repro.campaign/2",
             "config": dict(self.config),
             "arms": [arm.to_dict() for arm in self.arms],
             "telemetry": self.telemetry.to_dict(),
@@ -113,6 +171,17 @@ class CampaignResult:
                                       encoding="utf-8")
 
 
+@dataclass
+class _ShardPlan:
+    """One shard after the parent-side cache pass: what is already known
+    (``hits``) and what still needs an engine (``misses``)."""
+
+    shard: list                      # [(index, case), ...] in dataset order
+    hits: dict                       # index -> cached RepairReport
+    misses: list                     # [(index, case), ...] needing execution
+    keys: dict                       # index -> cache key (when caching)
+
+
 class Campaign:
     """Sweep engine arms over a dataset with a sharded worker pool.
 
@@ -122,15 +191,21 @@ class Campaign:
       seed; order- and worker-count-invariant, parallelises freely.
     * ``"shared"`` — one engine instance walks the dataset serially, so
       cross-case state (RustBrain's self-learning feedback memory)
-      accumulates exactly as in the paper's experiments.  Requires
-      ``workers=1``: a stateful sweep is order-dependent by design.
+      accumulates exactly as in the paper's experiments.  A stateful sweep
+      is order-dependent by design: within an arm it always runs serially.
+      With ``executor="process"`` and more than one arm, whole arms are
+      dispatched to the pool instead; otherwise ``workers > 1`` falls back
+      to serial with a :class:`RuntimeWarning` rather than silently
+      changing semantics.
     """
 
     def __init__(self, engines, dataset: Dataset | None = None, *,
                  model: str = "gpt-4", seed: int = 0,
                  temperature: float = 0.5, workers: int = 1,
                  shard_size: int = 8, isolation: str = "per_case",
-                 observers=()):
+                 executor: str = "thread",
+                 cache: ResultCache | None = None,
+                 cache_dir=None, observers=()):
         # A lone spec (string or EngineSpec) is a one-arm campaign, not an
         # iterable of one-character engine names.
         if isinstance(engines, (str, EngineSpec)):
@@ -145,9 +220,23 @@ class Campaign:
         if isolation not in ("per_case", "shared"):
             raise ValueError(
                 f"isolation must be 'per_case' or 'shared', got {isolation!r}")
-        if isolation == "shared" and workers != 1:
-            raise ValueError("shared isolation is a stateful serial sweep; "
-                             "it requires workers=1")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, "
+                             f"got {executor!r}")
+        if executor == "serial" and workers > 1:
+            raise ValueError("the serial executor runs in-process; "
+                             "use executor='thread' or 'process' with "
+                             "workers > 1")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache= or cache_dir=, not both")
+        if isolation == "shared" and workers > 1 \
+                and not (executor == "process" and len(self.specs) > 1):
+            warnings.warn(
+                "shared isolation is a stateful serial sweep; forcing "
+                "workers=1 (use executor='process' with several arms to "
+                "parallelise across arms instead)",
+                RuntimeWarning, stacklevel=2)
+            workers = 1
         # Fail fast: resolve every arm now (unknown engines, bad config
         # keys) instead of after earlier arms have burned minutes of work.
         for spec in self.specs:
@@ -160,6 +249,8 @@ class Campaign:
         self.workers = workers
         self.shard_size = shard_size
         self.isolation = isolation
+        self.executor = executor
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else cache
         self._user_observers: list[CampaignObserver] = list(observers)
         #: The latest run's event log; replaced at each ``run()`` so repeated
         #: runs don't accumulate each other's events.
@@ -179,6 +270,10 @@ class Campaign:
 
     def label_for(self, spec: EngineSpec) -> str:
         return arm_label(spec, self.model)
+
+    @property
+    def _pooled(self) -> bool:
+        return self.workers > 1 and self.executor != "serial"
 
     def _arm_seeding(self, spec: EngineSpec) -> tuple[int, EngineSpec]:
         """Hoist a spec-pinned ``seed`` into the arm's base seed.
@@ -209,18 +304,94 @@ class Campaign:
                                    temperature=self.temperature)
         report = run_request(engine, RepairRequest.from_case(case, index),
                              engine_label=label)
-        self._emit("on_case_done",
-                   CaseFinished(engine=label, case=case.name, index=index,
-                                total=total, passed=report.passed,
-                                acceptable=report.acceptable,
-                                seconds=report.seconds))
+        self._emit_case_done(label, case.name, index, total, report)
         return report
 
     def _run_shard(self, spec: EngineSpec, label: str, base_seed: int,
-                   shard, total: int, engine=None) -> list[RepairReport]:
-        return [self._run_case(spec, label, base_seed, index, case, total,
-                               engine)
+                   shard, total: int) -> list[RepairReport]:
+        # Per-case engines only: shared (stateful) sweeps never go through
+        # shards — they run in _run_shared_arm, serially, by construction.
+        return [self._run_case(spec, label, base_seed, index, case, total)
                 for index, case in shard]
+
+    def _emit_case_done(self, label: str, case_name: str, index: int,
+                        total: int, report: RepairReport) -> None:
+        self._emit("on_case_done",
+                   CaseFinished(engine=label, case=case_name, index=index,
+                                total=total, passed=report.passed,
+                                acceptable=report.acceptable,
+                                seconds=report.seconds))
+
+    def _replay_case(self, label: str, case, index: int, total: int,
+                     report: RepairReport) -> None:
+        """Emit start/done events for a case served from cache or a pool."""
+        self._emit("on_case_start",
+                   CaseStarted(engine=label, case=case.name, index=index,
+                               total=total))
+        self._emit_case_done(label, case.name, index, total, report)
+
+    # -- cache pass --------------------------------------------------------
+
+    def _plan_shards(self, spec: EngineSpec, label: str,
+                     base_seed: int, shards) -> list[_ShardPlan]:
+        """Parent-side cache consult: split every shard into hits/misses.
+
+        ``on_cache`` telemetry fires here, in dataset order, identically
+        for every executor backend.
+        """
+        spec_str = spec.to_string()
+        plans = []
+        for shard in shards:
+            hits: dict = {}
+            misses: list = []
+            keys: dict = {}
+            for index, case in shard:
+                if self.cache is None:
+                    misses.append((index, case))
+                    continue
+                key = case_key(spec_str, self.model, self.temperature,
+                               case_seed(base_seed, index),
+                               fingerprint_case(case.name, case.source,
+                                                case.fixed_source,
+                                                case.difficulty,
+                                                case.category))
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    hits[index] = cached[0]
+                else:
+                    misses.append((index, case))
+                self._emit("on_cache",
+                           CacheQueried(engine=label, case=case.name,
+                                        index=index,
+                                        hit=cached is not None, key=key))
+            plans.append(_ShardPlan(shard=list(shard), hits=hits,
+                                    misses=misses, keys=keys))
+        return plans
+
+    def _merge_shard(self, label: str, total: int, plan: _ShardPlan,
+                     miss_reports: list[RepairReport],
+                     replay_misses: bool) -> list[RepairReport]:
+        """Stitch cached hits and fresh reports back into dataset order,
+        emitting events for anything that did not run through
+        :meth:`_run_case` and writing misses back to the cache."""
+        fresh = {index: report
+                 for (index, _case), report in zip(plan.misses, miss_reports)}
+        merged = []
+        for index, case in plan.shard:
+            if index in plan.hits:
+                report = plan.hits[index]
+                self._replay_case(label, case, index, total, report)
+            else:
+                report = fresh[index]
+                if replay_misses:
+                    self._replay_case(label, case, index, total, report)
+                if self.cache is not None:
+                    self.cache.put(plan.keys[index], [report])
+            merged.append(report)
+        return merged
+
+    # -- per-arm execution -------------------------------------------------
 
     def _run_arm(self, spec: EngineSpec) -> ArmRun:
         label = self.label_for(spec)
@@ -229,55 +400,208 @@ class Campaign:
         total = len(cases)
         self._emit("on_engine_start",
                    EngineStarted(engine=label, cases=total))
-
-        indexed = list(enumerate(cases))
-        shards = [indexed[start:start + self.shard_size]
-                  for start in range(0, total, self.shard_size)]
-        # Shared isolation: one stateful engine walks every shard in order.
-        shared_engine = (create_engine(run_spec, model=self.model,
-                                       seed=base_seed,
-                                       temperature=self.temperature)
-                         if self.isolation == "shared" else None)
-        reports: list[RepairReport] = []
-        if self.workers == 1:
-            shard_results = [self._run_shard(run_spec, label, base_seed,
-                                             shard, total, shared_engine)
-                             for shard in shards]
-            for round_index, shard_reports in enumerate(shard_results):
-                reports.extend(shard_reports)
-                self._emit_round(label, round_index, len(shards), reports,
-                                 total)
+        if self.isolation == "shared":
+            reports = self._run_shared_arm(spec, run_spec, label, base_seed,
+                                           cases)
         else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = [pool.submit(self._run_shard, run_spec, label,
-                                       base_seed, shard, total)
-                           for shard in shards]
-                # Collect in submission order: reports stay dataset-ordered
-                # and round events fire deterministically even though shards
-                # complete in any order.
-                for round_index, future in enumerate(futures):
-                    reports.extend(future.result())
-                    self._emit_round(label, round_index, len(shards),
-                                     reports, total)
+            reports = self._run_per_case_arm(spec, run_spec, label, base_seed,
+                                             cases)
+        self._emit_engine_done(label, reports)
+        return ArmRun(spec=spec, label=label, reports=reports)
 
+    def _emit_engine_done(self, label: str,
+                          reports: list[RepairReport]) -> None:
         self._emit("on_engine_done", EngineFinished(
-            engine=label, cases=total,
+            engine=label, cases=len(reports),
             passed=sum(r.passed for r in reports),
             acceptable=sum(r.acceptable for r in reports),
             virtual_seconds=sum(r.seconds for r in reports)))
-        return ArmRun(spec=spec, label=label, reports=reports)
+
+    def _shards(self, cases) -> list[list]:
+        indexed = list(enumerate(cases))
+        return [indexed[start:start + self.shard_size]
+                for start in range(0, len(cases), self.shard_size)]
+
+    def _run_per_case_arm(self, spec: EngineSpec, run_spec: EngineSpec,
+                          label: str, base_seed: int,
+                          cases: list) -> list[RepairReport]:
+        total = len(cases)
+        shards = self._shards(cases)
+        plans = self._plan_shards(spec, label, base_seed, shards)
+        rounds = len(plans)
+
+        reports: list[RepairReport] = []
+        completed = passed = 0
+
+        def collect(round_index: int, plan: _ShardPlan,
+                    miss_reports: list[RepairReport],
+                    replay_misses: bool) -> None:
+            nonlocal completed, passed
+            merged = self._merge_shard(label, total, plan, miss_reports,
+                                       replay_misses)
+            reports.extend(merged)
+            completed += len(merged)
+            passed += sum(r.passed for r in merged)
+            self._emit_round(label, round_index, rounds, completed, total,
+                            passed)
+
+        if not self._pooled:
+            for round_index, plan in enumerate(plans):
+                miss_reports = self._run_shard(run_spec, label, base_seed,
+                                               plan.misses, total)
+                collect(round_index, plan, miss_reports, replay_misses=False)
+        elif self.executor == "thread":
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(self._run_shard, run_spec, label,
+                                       base_seed, plan.misses, total)
+                           for plan in plans]
+                # Collect in submission order: reports stay dataset-ordered
+                # and round events fire deterministically even though shards
+                # complete in any order.
+                for round_index, (future, plan) in enumerate(zip(futures,
+                                                                 plans)):
+                    collect(round_index, plan, future.result(),
+                            replay_misses=False)
+        else:
+            spec_str = run_spec.to_string()
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(_execute_case_batch, spec_str, label,
+                                       self.model, self.temperature,
+                                       base_seed, plan.misses)
+                           for plan in plans]
+                for round_index, (future, plan) in enumerate(zip(futures,
+                                                                 plans)):
+                    collect(round_index, plan, future.result(),
+                            replay_misses=True)
+        return reports
+
+    def _run_shared_arm(self, spec: EngineSpec, run_spec: EngineSpec,
+                        label: str, base_seed: int,
+                        cases: list) -> list[RepairReport]:
+        total = len(cases)
+        key = None
+        if self.cache is not None:
+            key = arm_key(spec.to_string(), self.model, self.temperature,
+                          base_seed, fingerprint_dataset(cases))
+            cached = self.cache.get(key)
+            if cached is not None and len(cached) == total:
+                return self._replay_shared_arm(label, cases, cached, key,
+                                               hit=True)
+        shared_engine = create_engine(run_spec, model=self.model,
+                                      seed=base_seed,
+                                      temperature=self.temperature)
+        reports: list[RepairReport] = []
+        completed = passed = 0
+        shards = self._shards(cases)
+        for round_index, shard in enumerate(shards):
+            shard_reports = []
+            for index, case in shard:
+                if key is not None:
+                    self._emit("on_cache",
+                               CacheQueried(engine=label, case=case.name,
+                                            index=index, hit=False, key=key))
+                shard_reports.append(self._run_case(
+                    run_spec, label, base_seed, index, case, total,
+                    shared_engine))
+            reports.extend(shard_reports)
+            completed += len(shard_reports)
+            passed += sum(r.passed for r in shard_reports)
+            self._emit_round(label, round_index, len(shards), completed,
+                            total, passed)
+        if key is not None:
+            self.cache.put(key, reports)
+        return reports
+
+    def _replay_shared_arm(self, label: str, cases: list,
+                           reports: list[RepairReport], key: str | None,
+                           hit: bool) -> list[RepairReport]:
+        """Emit the full event stream for an arm whose reports came from
+        the cache or a pooled worker — identical counts to a live run."""
+        total = len(cases)
+        shards = self._shards(cases)
+        completed = passed = 0
+        position = 0
+        for round_index, shard in enumerate(shards):
+            for index, case in shard:
+                if key is not None:
+                    self._emit("on_cache",
+                               CacheQueried(engine=label, case=case.name,
+                                            index=index, hit=hit, key=key))
+                report = reports[position]
+                self._replay_case(label, case, index, total, report)
+                position += 1
+                completed += 1
+                passed += report.passed
+            self._emit_round(label, round_index, len(shards), completed,
+                            total, passed)
+        return reports
+
+    # -- arm-level pooling (shared isolation, process executor) ------------
+
+    def _run_arms_pooled(self) -> list[ArmRun]:
+        """Dispatch whole stateful arms to a process pool.
+
+        Each arm keeps exact shared-isolation semantics (one engine, serial
+        over the dataset); the pool parallelises *across* arms, which is
+        what lets per-seed repeat sampling saturate every core.  Events are
+        emitted arm-by-arm in spec order as results are collected.
+        """
+        cases = list(self.dataset)
+        dataset_fp = fingerprint_dataset(cases) if self.cache is not None \
+            else None
+        plans = []  # (spec, run_spec, label, base_seed, key, cached | None)
+        for spec in self.specs:
+            label = self.label_for(spec)
+            base_seed, run_spec = self._arm_seeding(spec)
+            key = cached = None
+            if self.cache is not None:
+                key = arm_key(spec.to_string(), self.model, self.temperature,
+                              base_seed, dataset_fp)
+                cached = self.cache.get(key)
+                if cached is not None and len(cached) != len(cases):
+                    cached = None
+            plans.append((spec, run_spec, label, base_seed, key, cached))
+
+        arms: list[ArmRun] = []
+        live = [plan for plan in plans if plan[5] is None]
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, max(1, len(live)))) as pool:
+            futures = {id(plan): pool.submit(
+                _execute_shared_arm, plan[1].to_string(), plan[2],
+                self.model, self.temperature, plan[3], cases)
+                for plan in live}
+            for plan in plans:
+                spec, _run_spec, label, _base_seed, key, cached = plan
+                self._emit("on_engine_start",
+                           EngineStarted(engine=label, cases=len(cases)))
+                if cached is not None:
+                    reports = self._replay_shared_arm(label, cases, cached,
+                                                      key, hit=True)
+                else:
+                    reports = futures[id(plan)].result()
+                    self._replay_shared_arm(label, cases, reports, key,
+                                            hit=False)
+                    if key is not None:
+                        self.cache.put(key, reports)
+                self._emit_engine_done(label, reports)
+                arms.append(ArmRun(spec=spec, label=label, reports=reports))
+        return arms
 
     def _emit_round(self, label: str, round_index: int, rounds: int,
-                    reports: list[RepairReport], total: int) -> None:
+                    completed: int, total: int, passed: int) -> None:
+        # Running counters from the caller — no O(rounds * cases) rescans.
         self._emit("on_round", RoundFinished(
             engine=label, round_index=round_index, rounds=rounds,
-            completed=len(reports), total=total,
-            passed_so_far=sum(r.passed for r in reports)))
+            completed=completed, total=total, passed_so_far=passed))
 
     def run(self) -> CampaignResult:
         self.telemetry = TelemetryLog()
         self.observers = [self.telemetry, *self._user_observers]
-        arms = [self._run_arm(spec) for spec in self.specs]
+        if self.isolation == "shared" and self._pooled \
+                and self.executor == "process" and len(self.specs) > 1:
+            arms = self._run_arms_pooled()
+        else:
+            arms = [self._run_arm(spec) for spec in self.specs]
         config = {
             "engines": [spec.to_string() for spec in self.specs],
             "model": self.model,
@@ -286,6 +610,8 @@ class Campaign:
             "workers": self.workers,
             "shard_size": self.shard_size,
             "isolation": self.isolation,
+            "executor": self.executor,
+            "cache": self.cache is not None,
             "cases": len(self.dataset),
         }
         return CampaignResult(config=config, arms=arms,

@@ -65,8 +65,24 @@ class RoundFinished:
     passed_so_far: int
 
 
+@dataclass(frozen=True)
+class CacheQueried:
+    """The result cache was consulted for one case (hit or miss).
+
+    Only emitted when the campaign runs with a cache attached; a warm
+    re-run of an identical campaign shows ``cases`` hits and zero misses —
+    the telemetry-level proof that no engine executed.
+    """
+
+    engine: str
+    case: str
+    index: int
+    hit: bool
+    key: str
+
+
 CampaignEvent = (EngineStarted | EngineFinished | CaseStarted
-                 | CaseFinished | RoundFinished)
+                 | CaseFinished | RoundFinished | CacheQueried)
 
 
 # ---------------------------------------------------------------------------
@@ -91,6 +107,9 @@ class CampaignObserver:
     def on_round(self, event: RoundFinished) -> None:
         pass
 
+    def on_cache(self, event: CacheQueried) -> None:
+        pass
+
 
 @dataclass
 class TelemetryLog(CampaignObserver):
@@ -113,18 +132,31 @@ class TelemetryLog(CampaignObserver):
     def on_round(self, event: RoundFinished) -> None:
         self.events.append(event)
 
+    def on_cache(self, event: CacheQueried) -> None:
+        self.events.append(event)
+
     # -- summaries ---------------------------------------------------------
 
     def count(self, event_type: type) -> int:
         return sum(isinstance(event, event_type) for event in self.events)
 
+    def cache_counts(self) -> tuple[int, int]:
+        """``(hits, misses)`` across every arm of the run."""
+        hits = sum(1 for event in self.events
+                   if isinstance(event, CacheQueried) and event.hit)
+        misses = self.count(CacheQueried) - hits
+        return hits, misses
+
     def to_dict(self) -> dict:
         """Deterministic summary: counts only, never arrival order."""
+        hits, misses = self.cache_counts()
         return {
             "engines": self.count(EngineFinished),
             "cases_started": self.count(CaseStarted),
             "cases_finished": self.count(CaseFinished),
             "rounds": self.count(RoundFinished),
+            "cache_hits": hits,
+            "cache_misses": misses,
         }
 
 
@@ -135,12 +167,22 @@ class ProgressPrinter(CampaignObserver):
         import sys
         self.stream = stream if stream is not None else sys.stderr
         self.per_case = per_case
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def _emit(self, line: str) -> None:
         print(line, file=self.stream, flush=True)
 
     def on_engine_start(self, event: EngineStarted) -> None:
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._emit(f"[{event.engine}] starting: {event.cases} cases")
+
+    def on_cache(self, event: CacheQueried) -> None:
+        if event.hit:
+            self._cache_hits += 1
+        else:
+            self._cache_misses += 1
 
     def on_round(self, event: RoundFinished) -> None:
         self._emit(f"[{event.engine}] round {event.round_index + 1}"
@@ -154,5 +196,10 @@ class ProgressPrinter(CampaignObserver):
                        f"({event.seconds:.1f}s virtual)")
 
     def on_engine_done(self, event: EngineFinished) -> None:
+        cache = ""
+        if self._cache_hits or self._cache_misses:
+            cache = (f", cache {self._cache_hits} hit"
+                     f"/{self._cache_misses} miss")
         self._emit(f"[{event.engine}] done: {event.passed}/{event.cases} "
-                   f"passed, {event.acceptable}/{event.cases} acceptable")
+                   f"passed, {event.acceptable}/{event.cases} acceptable"
+                   f"{cache}")

@@ -85,6 +85,7 @@ class RepairReport:
             "category": self.category.value if self.category else None,
             "passed": self.passed,
             "acceptable": self.acceptable,
+            "repaired_source": self.repaired_source,
             "seconds": self.seconds,
             "tokens": self.tokens,
             "llm_calls": self.llm_calls,
@@ -97,6 +98,32 @@ class RepairReport:
             "applied_rules": list(self.applied_rules),
             "failure_reason": self.failure_reason,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RepairReport":
+        """Inverse of :meth:`to_dict` — an exact round-trip, which is what
+        lets the result cache hand back reports indistinguishable from a
+        live engine run."""
+        category = payload.get("category")
+        return cls(
+            case=payload["case"],
+            engine=payload["engine"],
+            category=UbKind(category) if category else None,
+            passed=payload["passed"],
+            acceptable=payload["acceptable"],
+            repaired_source=payload.get("repaired_source"),
+            seconds=payload["seconds"],
+            tokens=payload["tokens"],
+            llm_calls=payload["llm_calls"],
+            solutions_tried=payload["solutions_tried"],
+            steps_executed=payload["steps_executed"],
+            hallucinations=payload["hallucinations"],
+            rollbacks=payload["rollbacks"],
+            used_knowledge_base=payload["used_knowledge_base"],
+            used_feedback=payload["used_feedback"],
+            applied_rules=list(payload.get("applied_rules", [])),
+            failure_reason=payload.get("failure_reason"),
+        )
 
 
 def run_request(engine, request: RepairRequest,

@@ -10,6 +10,8 @@ macros (``assert!``, ``println!``, ``vec!``), and the usual control flow.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from . import ast_nodes as ast
 from .lexer import tokenize
 from .span import Span
@@ -794,9 +796,25 @@ def _unescape(text: str) -> str:
     return "".join(out)
 
 
-def parse_program(source: str) -> ast.Program:
-    """Parse a full mini-Rust source file into a :class:`Program`."""
+@lru_cache(maxsize=512)
+def _parse_program_cached(source: str) -> ast.Program:
     return Parser(source).parse_program()
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a full mini-Rust source file into a :class:`Program`.
+
+    Memoized on the source text: a repair round re-parses the same unchanged
+    input many times (every engine instance, every campaign repeat), so the
+    lex+parse runs once per distinct source and subsequent calls return a
+    fresh :func:`~repro.lang.ast_nodes.clone` of the cached tree.  Cloning
+    keeps callers isolated — agents rewrite ASTs in place, and a mutation
+    must never leak into later parses — and reassigns node ids, which are
+    only ever used as within-tree identities, never compared across parses
+    or ordered.  Unparseable sources are not cached (``lru_cache`` does not
+    memoize raised exceptions); they stay rare and cheap to re-reject.
+    """
+    return ast.clone(_parse_program_cached(source))
 
 
 def parse_expr(source: str) -> ast.Expr:

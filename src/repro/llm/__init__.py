@@ -13,6 +13,7 @@ from .oracle import (
     ExtractedFeatures,
     corrupt_step,
     extract_features,
+    generate_plan_batch,
     judge_semantics,
     rank_candidate_rules,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "exploration_factor",
     "extract_features",
     "fidelity_factor",
+    "generate_plan_batch",
     "get_profile",
     "hallucination_factor",
     "judge_semantics",

@@ -74,12 +74,26 @@ class LLMClient:
 
     # ------------------------------------------------------------------
 
-    def rng_for_call(self, task: str) -> random.Random:
-        """Deterministic per-call RNG: (seed, model, temperature, index)."""
+    def rng_for_call(self, task: str, sample: int = 0) -> random.Random:
+        """Deterministic per-call RNG: (seed, model, temperature, index).
+
+        ``sample`` distinguishes the completions of one *batched* call;
+        sample 0 deliberately shares the key of a plain :meth:`charge` so
+        routing an existing single-stream caller through
+        :meth:`generate_batch` leaves its outcomes bit-identical.
+        """
+        suffix = f"#b{sample}" if sample else ""
         key = (f"{self.seed}|{self.profile.name}|{self.temperature:.3f}"
-               f"|{self._call_index}|{task}")
+               f"|{self._call_index}|{task}{suffix}")
         digest = hashlib.sha256(key.encode()).digest()
         return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def _check_context(self, prompt: str) -> int:
+        if exceeds_context(prompt, self.context_limit):
+            raise ContextOverflow(
+                f"prompt of {count_tokens(prompt)} tokens exceeds the "
+                f"{self.context_limit}-token context limit")
+        return count_tokens(prompt)
 
     def charge(self, task: str, prompt: str,
                completion_tokens: int = 256) -> random.Random:
@@ -89,11 +103,7 @@ class LLMClient:
         — callers treat the affected program as out of scope, exactly as the
         paper's scope section prescribes.
         """
-        if exceeds_context(prompt, self.context_limit):
-            raise ContextOverflow(
-                f"prompt of {count_tokens(prompt)} tokens exceeds the "
-                f"{self.context_limit}-token context limit")
-        prompt_tokens = count_tokens(prompt)
+        prompt_tokens = self._check_context(prompt)
         latency = (self.profile.latency_base
                    + self.profile.latency_per_ktoken
                    * (prompt_tokens + completion_tokens) / 1000.0)
@@ -103,6 +113,35 @@ class LLMClient:
                                         completion_tokens, latency))
         self._call_index += 1
         return rng
+
+    def generate_batch(self, task: str, prompt: str, n: int,
+                       completion_tokens: int = 256) -> list[random.Random]:
+        """Sample ``n`` completions of one prompt in a single invocation.
+
+        This is the batched-oracle path (RustAssistant-style candidate
+        fan-out): the prompt is ingested **once** and the fixed per-request
+        latency is paid **once**, so a batch of ``n`` costs
+        ``base + per_ktoken * (prompt + n * completion)`` virtual seconds
+        instead of ``n`` full round-trips.  Accounting records one
+        :class:`LLMCall` whose completion size is the whole batch.
+
+        Returns one independent deterministic RNG per sample.  Stream 0 is
+        identical to what a plain :meth:`charge` at this call index would
+        return, which is what lets the repair loop's existing candidate
+        generation route through here without perturbing any experiment.
+        """
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        prompt_tokens = self._check_context(prompt)
+        latency = (self.profile.latency_base
+                   + self.profile.latency_per_ktoken
+                   * (prompt_tokens + n * completion_tokens) / 1000.0)
+        self.clock.advance(latency)
+        rngs = [self.rng_for_call(task, sample) for sample in range(n)]
+        self.stats.calls.append(LLMCall(task, prompt_tokens,
+                                        n * completion_tokens, latency))
+        self._call_index += 1
+        return rngs
 
     def fork(self, seed_offset: int = 1) -> "LLMClient":
         """A client with the same profile/clock but an independent RNG stream."""

@@ -227,13 +227,26 @@ def rank_candidate_rules(client: LLMClient, features: ExtractedFeatures,
                          kb_hint: list[str] | None = None,
                          feedback_rules: list[str] | None = None,
                          difficulty: int = 2, round_index: int = 0,
-                         orchestrated: bool = False) -> list[list[str]]:
+                         orchestrated: bool = False,
+                         rng: random.Random | None = None) -> list[list[str]]:
     """Fast-thinking solution generation: ``n`` ranked repair plans.
 
     Returns a list of plans; each plan is an ordered list of rule names
     (primary fix first, fallbacks after). The caller (slow thinking)
     decomposes, executes and verifies them.
+
+    The ``n`` candidates are sampled through
+    :meth:`~repro.llm.client.LLMClient.generate_batch` — one batched
+    invocation that ingests the prompt once — and the plan-builder consumes
+    completion stream 0, which is identical to the stream a plain
+    ``charge`` would have produced, so the batching is invisible to every
+    seeded experiment.  Callers that already paid for a batch (see
+    :func:`generate_plan_batch`) pass the per-sample ``rng`` explicitly and
+    no new invocation is accounted.
     """
+    if n_solutions < 1:
+        # A zero-candidate round consults nobody and proposes nothing.
+        return []
     code = print_program(program)
     hints = ""
     if kb_hint:
@@ -241,13 +254,15 @@ def rank_candidate_rules(client: LLMClient, features: ExtractedFeatures,
     if feedback_rules:
         hints += "\n### Previously successful for similar errors\n" + \
             ", ".join(feedback_rules)
-    rng = client.charge(
-        "solution_generation",
-        SOLUTION_PROMPT.format(n=n_solutions, code=code,
-                               category=features.predicted_category.value,
-                               hints=hints),
-        completion_tokens=120 * n_solutions,
-    )
+    if rng is None:
+        rng = client.generate_batch(
+            "solution_generation",
+            SOLUTION_PROMPT.format(n=n_solutions, code=code,
+                                   category=features.predicted_category.value,
+                                   hints=hints),
+            n_solutions,
+            completion_tokens=120,
+        )[0]
     profile = client.profile
     temperature = client.temperature
 
@@ -359,6 +374,31 @@ def rank_candidate_rules(client: LLMClient, features: ExtractedFeatures,
                 seen.append(rule)
         plans.append(seen[:cap])
     return plans
+
+
+def generate_plan_batch(client: LLMClient, features: ExtractedFeatures,
+                        program: ast.Program, n: int,
+                        difficulty: int = 2) -> list[list[str]]:
+    """Sample ``n`` *independent* single-plan candidates in one batch.
+
+    This is the standalone-LLM candidate fan-out (ask once, take ``n``
+    samples) amortized through
+    :meth:`~repro.llm.client.LLMClient.generate_batch`: each sample gets
+    its own completion stream and rolls its own understanding/fidelity —
+    statistically the same as ``n`` separate ``n_solutions=1`` generation
+    rounds, but the prompt is ingested once and the fixed per-request
+    latency is paid once.
+    """
+    if n < 1:
+        return []
+    code = print_program(program)
+    prompt = SOLUTION_PROMPT.format(
+        n=1, code=code, category=features.predicted_category.value, hints="")
+    rngs = client.generate_batch("solution_generation", prompt, n,
+                                 completion_tokens=120)
+    return [rank_candidate_rules(client, features, program, 1,
+                                 difficulty=difficulty, rng=sample_rng)[0]
+            for sample_rng in rngs]
 
 
 @dataclass(frozen=True)

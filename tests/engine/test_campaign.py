@@ -34,6 +34,12 @@ def parallel_run(dataset):
                     shard_size=4).run()
 
 
+@pytest.fixture(scope="module")
+def process_run(dataset):
+    return Campaign(ENGINES, dataset, seed=SEED, workers=4,
+                    shard_size=4, executor="process").run()
+
+
 class TestDeterminism:
     def test_parallel_equals_serial_system_results(self, serial_run,
                                                    parallel_run):
@@ -52,6 +58,43 @@ class TestDeterminism:
         again = Campaign(ENGINES, dataset, seed=SEED, workers=2,
                          shard_size=4).run()
         assert again.by_label() == parallel_run.by_label()
+
+    def test_process_pool_equals_serial_json(self, serial_run, process_run):
+        # The acceptance bar for the process backend: a 4-worker process
+        # pool is byte-identical to a serial run, arms and telemetry both.
+        serial = serial_run.to_dict()
+        pooled = process_run.to_dict()
+        assert json.dumps(serial["arms"], sort_keys=True) == \
+            json.dumps(pooled["arms"], sort_keys=True)
+        assert serial["telemetry"] == pooled["telemetry"]
+
+    def test_process_pool_equals_thread_pool(self, parallel_run, process_run):
+        assert parallel_run.by_label() == process_run.by_label()
+
+    def test_process_reports_stay_in_dataset_order(self, dataset,
+                                                   process_run):
+        names = [case.name for case in dataset]
+        for arm in process_run.arms:
+            assert [report.case for report in arm.reports] == names
+
+    def test_serial_executor_matches_default(self, dataset, serial_run):
+        explicit = Campaign(ENGINES, dataset, seed=SEED, workers=1,
+                            shard_size=4, executor="serial").run()
+        assert explicit.by_label() == serial_run.by_label()
+
+    def test_shared_pooled_arms_equal_serial_arms(self, dataset):
+        # Arm-level process pooling: each arm keeps its exact stateful
+        # semantics, so the pooled sweep reproduces the serial one.
+        small = Dataset(tuple(list(dataset)[:6]))
+        arms = ["rustbrain?seed=3", "rustbrain?seed=11", "rustbrain?seed=23"]
+        serial = Campaign(arms, small, isolation="shared", workers=1).run()
+        pooled = Campaign(arms, small, isolation="shared", workers=3,
+                          executor="process").run()
+        assert json.dumps([arm.to_dict() for arm in serial.arms],
+                          sort_keys=True) == \
+            json.dumps([arm.to_dict() for arm in pooled.arms],
+                       sort_keys=True)
+        assert serial.telemetry.to_dict() == pooled.telemetry.to_dict()
 
     def test_different_seed_differs(self, dataset, serial_run):
         other = Campaign(ENGINES, dataset, seed=SEED + 1, workers=1,
@@ -124,7 +167,7 @@ class TestSerialization:
         path = tmp_path / "campaign.json"
         serial_run.save(path)
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro.campaign/1"
+        assert payload["schema"] == "repro.campaign/2"
         assert payload["config"]["engines"] == ENGINES
         assert len(payload["arms"]) == len(ENGINES)
         for arm, spec in zip(payload["arms"], ENGINES):
@@ -204,9 +247,31 @@ class TestValidation:
         with pytest.raises(ValueError, match="isolation"):
             Campaign(ENGINES, dataset, isolation="quantum")
 
-    def test_shared_isolation_requires_serial(self, dataset):
-        with pytest.raises(ValueError, match="workers=1"):
-            Campaign(ENGINES, dataset, isolation="shared", workers=4)
+    def test_shared_isolation_forces_serial_with_warning(self, dataset):
+        # A stateful sweep cannot split within an arm: rather than silently
+        # degrading to per-case engines, the campaign warns and runs serial.
+        with pytest.warns(RuntimeWarning, match="forcing"):
+            campaign = Campaign(ENGINES, dataset, isolation="shared",
+                                workers=4)
+        assert campaign.workers == 1
+
+    def test_shared_process_multi_arm_keeps_workers(self, dataset):
+        # Arm-level process pooling preserves shared semantics, so several
+        # arms may keep workers > 1 without a warning.
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            campaign = Campaign(ENGINES, dataset, isolation="shared",
+                                workers=2, executor="process")
+        assert campaign.workers == 2
+
+    def test_serial_executor_rejects_workers(self, dataset):
+        with pytest.raises(ValueError, match="serial"):
+            Campaign(ENGINES, dataset, executor="serial", workers=2)
+
+    def test_bad_executor_rejected(self, dataset):
+        with pytest.raises(ValueError, match="executor"):
+            Campaign(ENGINES, dataset, executor="quantum")
 
 
 class TestSharedIsolation:

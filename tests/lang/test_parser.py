@@ -361,3 +361,44 @@ class TestNodeInfrastructure:
         parents = ast.parent_map(prog)
         binary = prog.fn("main").body.stmts[0].init
         assert parents[binary.left.node_id] is binary
+
+
+class TestParseMemoization:
+    """parse_program is memoized on source; callers stay fully isolated."""
+
+    def test_repeat_parse_equal_structure(self):
+        from repro.lang.printer import print_program
+        src = "fn main() { let x = 1 + 2; let y = x; }"
+        first = parse_program(src)
+        second = parse_program(src)
+        assert first is not second
+        assert print_program(first) == print_program(second)
+
+    def test_repeat_parse_fresh_node_ids(self):
+        src = "fn main() { let x = 1; }"
+        first = parse_program(src)
+        second = parse_program(src)
+        first_ids = {n.node_id for n in ast.walk(first)}
+        second_ids = {n.node_id for n in ast.walk(second)}
+        assert first_ids.isdisjoint(second_ids)
+
+    def test_mutation_never_leaks_between_parses(self):
+        from repro.lang.printer import print_program
+        src = "fn main() { let x = 1; let y = 2; }"
+        reference = print_program(parse_program(src))
+        mutated = parse_program(src)
+        mutated.fn("main").body.stmts.pop()  # engines rewrite in place
+        assert print_program(parse_program(src)) == reference
+
+    def test_cache_actually_hits(self):
+        from repro.lang.parser import _parse_program_cached
+        src = "fn main() { let memo_probe = 9; }"
+        before = _parse_program_cached.cache_info().hits
+        parse_program(src)
+        parse_program(src)
+        assert _parse_program_cached.cache_info().hits > before
+
+    def test_parse_errors_not_cached_as_results(self):
+        for _ in range(2):
+            with pytest.raises(ParseError):
+                parse_program("fn main() { let = 3; }")

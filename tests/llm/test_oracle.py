@@ -187,3 +187,70 @@ class TestCorruptStep:
         from repro.llm.oracle import _is_careless
         first = _is_careless(client)
         assert all(_is_careless(client) == first for _ in range(10))
+
+
+class TestGeneratePlanBatch:
+    def _features(self, client):
+        from repro.miri import detect_ub
+        case = load_dataset().get("uninit_assume_init_1")
+        program = parse_program(case.source)
+        report = detect_ub(case.source, collect=True)
+        return program, extract_features(client, program, report)
+
+    def test_batch_returns_n_plans(self):
+        from repro.llm.oracle import generate_plan_batch
+        client = LLMClient("gpt-4", seed=3)
+        program, features = self._features(client)
+        plans = generate_plan_batch(client, features, program, 5)
+        assert len(plans) == 5
+        assert all(isinstance(plan, list) for plan in plans)
+
+    def test_batch_is_deterministic(self):
+        from repro.llm.oracle import generate_plan_batch
+        first = LLMClient("gpt-4", seed=3)
+        program, features = self._features(first)
+        second = LLMClient("gpt-4", seed=3)
+        _, features2 = self._features(second)
+        assert generate_plan_batch(first, features, program, 4) == \
+            generate_plan_batch(second, features2, program, 4)
+
+    def test_batch_accounts_single_generation_call(self):
+        from repro.llm.oracle import generate_plan_batch
+        client = LLMClient("gpt-4", seed=3)
+        program, features = self._features(client)
+        before = client.stats.call_count
+        generate_plan_batch(client, features, program, 6)
+        assert client.stats.call_count == before + 1
+
+    def test_samples_can_disagree(self):
+        # Independent streams: across seeds, a batch is not n copies of
+        # one plan (the Fig. 11 exploration effect needs diversity).
+        from repro.llm.oracle import generate_plan_batch
+        diverse = False
+        for seed in range(8):
+            client = LLMClient("gpt-4", seed=seed, temperature=0.9)
+            program, features = self._features(client)
+            plans = generate_plan_batch(client, features, program, 6)
+            if len({tuple(plan) for plan in plans}) > 1:
+                diverse = True
+                break
+        assert diverse
+
+    def test_explicit_rng_skips_charging(self):
+        import random
+        client = LLMClient("gpt-4", seed=3)
+        program, features = self._features(client)
+        before = client.stats.call_count
+        plans = rank_candidate_rules(client, features, program, 1,
+                                     rng=random.Random(7))
+        assert client.stats.call_count == before
+        assert len(plans) == 1
+
+    def test_zero_solutions_yields_empty_plan_list(self):
+        # n_solutions=0 is a valid (if degenerate) config; it must not
+        # reach the batch layer's n >= 1 guard mid-campaign.
+        from repro.llm.oracle import generate_plan_batch
+        client = LLMClient("gpt-4", seed=3)
+        program, features = self._features(client)
+        assert rank_candidate_rules(client, features, program, 0) == []
+        assert generate_plan_batch(client, features, program, 0) == []
