@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Model-portfolio smoke: ensembles vs standalone profiles, with hard gates.
+
+Two stages, one artifact (``BENCH_ensemble.json``, schema
+``repro.bench_ensemble/1``):
+
+1. **Execution-layer checks** on a three-category subset: the
+   ``{portfolio, cascade, switch}`` arms run byte-identically under
+   ``executor="serial"`` and ``executor="process"``, and a warm re-run on
+   the result cache replays every case — zero engine (and therefore zero
+   ensemble-member) executions — with identical bytes and identical
+   ``on_member_done`` telemetry counts.
+2. **The headline claim** on the full corpus, repeat-sampled across
+   seeds: the cascade arm (cheap GPT-3.5 pass first, full GPT-4 RustBrain
+   only on failure) beats **every** standalone-model arm on pass rate at a
+   lower mean virtual-clock latency than the best single model.
+
+Wall-clock numbers are environment-dependent and NOT asserted; the
+``checks`` block is a set of hard gates and the script exits non-zero if
+any fails.
+
+Run:  PYTHONPATH=src python benchmarks/ensemble_smoke.py [OUTPUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.bench.figures import (DEFAULT_SEEDS, ENSEMBLE_COMPOSITE_ARMS,
+                                 ENSEMBLE_STANDALONE_ARMS,
+                                 ensemble_best_standalone, ensemble_campaign,
+                                 ensemble_data)
+from repro.corpus.dataset import load_dataset
+from repro.engine import ResultCache
+from repro.miri.errors import UbKind
+
+SCHEMA = "repro.bench_ensemble/1"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_ensemble.json"
+
+#: Identity-check subset: small enough for a serial reference run, wide
+#: enough to exercise fast members, slow escalation, and switch routing.
+CHECK_CATEGORIES = [UbKind.UNINIT, UbKind.PANIC, UbKind.STACK_BORROW]
+CHECK_SEED = 3
+
+
+def _arm_payload(result) -> str:
+    return json.dumps([arm.to_dict() for arm in result.arms],
+                      sort_keys=True)
+
+
+def _identity_checks() -> tuple[dict, dict]:
+    dataset = load_dataset().subset(CHECK_CATEGORIES)
+    arms = ENSEMBLE_COMPOSITE_ARMS
+    serial = ensemble_campaign(dataset, seed=CHECK_SEED, executor="serial",
+                               arms=arms).run()
+    with tempfile.TemporaryDirectory(prefix="repro-ensemble-smoke-") as tmp:
+        cache = ResultCache(tmp)
+        cold = ensemble_campaign(dataset, seed=CHECK_SEED,
+                                 executor="process", workers=4,
+                                 cache=cache, arms=arms).run()
+        warm = ensemble_campaign(dataset, seed=CHECK_SEED,
+                                 executor="process", workers=4,
+                                 cache=cache, arms=arms).run()
+    cases = len(dataset) * len(arms)
+    # Cache hit/miss counts legitimately differ cold vs warm; the replayed
+    # event stream (cases, rounds, per-member telemetry) must not.
+    cold_events = {k: v for k, v in cold.telemetry.to_dict().items()
+                   if not k.startswith("cache_")}
+    warm_events = {k: v for k, v in warm.telemetry.to_dict().items()
+                   if not k.startswith("cache_")}
+    checks = {
+        "process_matches_serial": _arm_payload(cold) == _arm_payload(serial),
+        "warm_zero_member_executions":
+            warm.telemetry.cache_counts() == (cases, 0)
+            and _arm_payload(warm) == _arm_payload(cold)
+            and warm_events == cold_events,
+    }
+    summary = {
+        "categories": sorted(cat.value for cat in CHECK_CATEGORIES),
+        "cases": len(dataset),
+        "arms": list(arms),
+        "members_finished": warm.telemetry.to_dict()["members_finished"],
+        "warm_cache_hits": warm.telemetry.cache_counts()[0],
+    }
+    return checks, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = pathlib.Path(argv[0]) if argv else DEFAULT_OUT
+
+    start = time.perf_counter()
+    identity_checks, identity_summary = _identity_checks()
+    identity_secs = time.perf_counter() - start
+
+    start = time.perf_counter()
+    data = ensemble_data()
+    headline_secs = time.perf_counter() - start
+
+    best = ensemble_best_standalone(data)
+    cascade = data["cascade"]
+    standalone = {arm: data[arm] for arm in ENSEMBLE_STANDALONE_ARMS}
+    checks = {
+        **identity_checks,
+        "cascade_beats_every_standalone_pass_rate": all(
+            cascade.pass_rate > summary.pass_rate
+            for summary in standalone.values()),
+        "cascade_cheaper_than_best_single_model":
+            cascade.mean_seconds < best.mean_seconds,
+    }
+
+    payload = {
+        "schema": SCHEMA,
+        "config": {
+            "seeds": list(DEFAULT_SEEDS),
+            "standalone_arms": list(ENSEMBLE_STANDALONE_ARMS),
+            "composite_arms": list(ENSEMBLE_COMPOSITE_ARMS),
+            "cases": len(load_dataset()),
+        },
+        "identity": identity_summary,
+        "arms": {
+            label: {
+                "pass_rate": round(summary.pass_rate, 4),
+                "exec_rate": round(summary.exec_rate, 4),
+                "mean_virtual_seconds": round(summary.mean_seconds, 2),
+            }
+            for label, summary in sorted(data.items())
+        },
+        "best_single_model": best.label,
+        "wall_seconds": {
+            "identity": round(identity_secs, 4),
+            "headline": round(headline_secs, 4),
+        },
+        "checks": checks,
+    }
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}")
+    for label, summary in sorted(data.items()):
+        print(f"  {label:12s} pass={100 * summary.pass_rate:5.1f}%  "
+              f"exec={100 * summary.exec_rate:5.1f}%  "
+              f"mean={summary.mean_seconds:7.1f}s virtual")
+    print(f"  best single model: {best.label}  checks: {checks}")
+    if not all(checks.values()):
+        print("ensemble smoke FAILED gates", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -147,6 +147,57 @@ def run_arm(kind: str, model: str, seeds=DEFAULT_SEEDS,
 
 
 # ---------------------------------------------------------------------------
+# Model-portfolio experiment — ensembles vs standalone profiles
+#
+# The Fig. 8/9 model-comparison story, run as one campaign axis: every
+# capability profile as a standalone arm next to the three composite
+# engines (portfolio/cascade/switch).  The headline shape this asserts
+# (see benchmarks/ensemble_smoke.py, which writes BENCH_ensemble.json):
+# the cascade beats every standalone model on pass rate while staying
+# cheaper on the virtual clock than the best single model.
+
+#: Standalone arms: one auto-registered profile arm per model.
+ENSEMBLE_STANDALONE_ARMS = ("gpt-3.5", "claude-3.5", "gpt-4", "gpt-o1")
+
+#: The composite arms, with their default member lists (three profiles).
+ENSEMBLE_COMPOSITE_ARMS = ("portfolio", "cascade", "switch")
+
+
+def ensemble_campaign(dataset: Dataset | None = None, *, seed: int = 3,
+                      executor: str | None = None, workers: int | None = None,
+                      cache: ResultCache | None = None,
+                      arms=ENSEMBLE_STANDALONE_ARMS
+                      + ENSEMBLE_COMPOSITE_ARMS) -> Campaign:
+    """The model-portfolio campaign: per-case isolation (ensembles derive
+    member seeds themselves), sharded across the process pool."""
+    executor = executor if executor is not None else _FIGURES_EXECUTOR
+    if workers is None:
+        workers = (os.cpu_count() or 1) if executor != "serial" else 1
+    dataset = dataset if dataset is not None else load_dataset()
+    return Campaign(list(arms), dataset, seed=seed, executor=executor,
+                    workers=workers, cache=cache)
+
+
+@lru_cache(maxsize=1)
+def ensemble_data(seeds=DEFAULT_SEEDS) -> dict[str, ArmSummary]:
+    """Repeat-sampled summary per arm, standalone and composite alike."""
+    per_arm: dict[str, list[SystemResults]] = {}
+    for seed in seeds:
+        result = ensemble_campaign(seed=seed, cache=_figures_cache()).run()
+        for arm in result.arms:
+            per_arm.setdefault(arm.label, []).append(arm.results)
+    return {label: _summarize(label, runs)
+            for label, runs in per_arm.items()}
+
+
+def ensemble_best_standalone(data: dict[str, ArmSummary]) -> ArmSummary:
+    """The best single model: highest repeat-sampled pass rate among the
+    standalone profile arms (exec rate breaks ties)."""
+    return max((data[arm] for arm in ENSEMBLE_STANDALONE_ARMS),
+               key=lambda summary: (summary.pass_rate, summary.exec_rate))
+
+
+# ---------------------------------------------------------------------------
 # Fig. 7 — RQ1 flexibility: ten fast-thinking solutions for one case
 
 

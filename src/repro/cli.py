@@ -260,7 +260,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"T={point.temperature:.1f}  pass={point.pass_ci}  "
                   f"exec={point.exec_ci}")
         return 0
-    print(f"unknown bench {name!r}; try: table1 fig8 fig9 fig11",
+    if name == "ensemble":
+        data = figures.ensemble_data()
+        best = figures.ensemble_best_standalone(data)
+        rows = [[label, f"{100 * summary.pass_rate:.1f}",
+                 f"{100 * summary.exec_rate:.1f}",
+                 f"{summary.mean_seconds:.0f}"]
+                for label, summary in sorted(data.items())]
+        print(render_table(["arm", "pass %", "exec %", "mean s"], rows,
+                           title="Model portfolio"))
+        print(f"best single model: {best.label} "
+              f"({100 * best.pass_rate:.1f}% pass, "
+              f"{best.mean_seconds:.0f}s mean)")
+        return 0
+    print(f"unknown bench {name!r}; try: table1 fig8 fig9 fig11 ensemble",
           file=sys.stderr)
     return 2
 

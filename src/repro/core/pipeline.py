@@ -66,6 +66,10 @@ class RepairOutcome:
     error_sequences: list[list[int]] = field(default_factory=list)
     applied_rules: list[str] = field(default_factory=list)
     failure_reason: str | None = None
+    #: Per-member summaries when the outcome came from an ensemble engine
+    #: (see :mod:`repro.engine.ensemble`); empty for ordinary arms.  Plain
+    #: dicts so outcomes stay picklable and JSON-serializable.
+    members: list[dict] = field(default_factory=list)
 
 
 class RustBrain:

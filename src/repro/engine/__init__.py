@@ -17,10 +17,13 @@ Arms register themselves where they are implemented
 registry imports those modules lazily on first lookup.
 """
 
-from .cache import (CACHE_SCHEMA, ResultCache, arm_key, case_key,
-                    fingerprint_case, fingerprint_dataset)
+from .cache import (CACHE_EPOCH, CACHE_SCHEMA, ResultCache, arm_key,
+                    case_key, fingerprint_case, fingerprint_dataset)
 from .campaign import (EXECUTORS, ArmRun, Campaign, CampaignResult,
                        case_seed, run_cases)
+from .ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS, STRATEGIES,
+                       EnsembleConfig, EnsembleEngine, Member, member_seed,
+                       parse_member, parse_members, parse_routes)
 from .registry import (REGISTRY, EngineConfigError, EngineInfo,
                        EngineRegistry, RepairEngine, UnknownEngineError,
                        apply_config_overrides, available_engines,
@@ -29,7 +32,8 @@ from .results import CaseResult, SystemResults
 from .spec import EngineSpec, SpecError
 from .telemetry import (CacheQueried, CampaignObserver, CaseFinished,
                         CaseStarted, EngineFinished, EngineStarted,
-                        ProgressPrinter, RoundFinished, TelemetryLog)
+                        MemberFinished, ProgressPrinter, RoundFinished,
+                        TelemetryLog)
 from .types import RepairReport, RepairRequest, run_request
 
 __all__ = [

@@ -5,8 +5,9 @@ spec, the model, the case itself, the derived seed, and the sampling
 temperature fully determine the :class:`~repro.engine.types.RepairReport`
 (that invariant is what makes worker-count-invariant campaigns possible in
 the first place).  The cache exploits it: a key is the SHA-256 digest of
-exactly those inputs, the value is the serialized report(s), and a warm
-re-run of an identical campaign performs zero engine case executions.
+exactly those inputs (plus the :data:`CACHE_EPOCH` engine-behaviour
+version), the value is the serialized report(s), and a warm re-run of an
+identical campaign performs zero engine case executions.
 
 Two key granularities cover the two isolation modes:
 
@@ -41,6 +42,16 @@ from .types import RepairReport
 #: read as misses instead of being misinterpreted.
 CACHE_SCHEMA = "repro.result-cache/1"
 
+#: Engine-behaviour epoch, mixed into every cache key.  A cached report is
+#: only valid while the code that produced it behaves identically, and a
+#: spec string cannot see code changes — so any PR that changes what an
+#: engine *does* (repair logic, oracle sampling, seed derivation, report
+#: contents) must bump this number.  Old entries then read as misses and
+#: are recomputed instead of silently replaying stale behaviour.  The
+#: convention (see DESIGN.md "Cache hygiene") is one bump per
+#: behaviour-changing PR; bumping too often only costs a cold run.
+CACHE_EPOCH = 3
+
 _SEP = "\x1f"  # unit separator: cannot appear in specs, names, or numbers
 
 
@@ -67,14 +78,14 @@ def fingerprint_dataset(cases) -> str:
 def case_key(spec: str, model: str, temperature: float, derived_seed: int,
              case_fingerprint: str) -> str:
     """Cache key for one per-case-isolation execution."""
-    return _digest(CACHE_SCHEMA, "case", spec, model,
+    return _digest(CACHE_SCHEMA, str(CACHE_EPOCH), "case", spec, model,
                    f"{temperature:.6g}", str(derived_seed), case_fingerprint)
 
 
 def arm_key(spec: str, model: str, temperature: float, base_seed: int,
             dataset_fingerprint: str) -> str:
     """Cache key for one shared-isolation (stateful) arm sweep."""
-    return _digest(CACHE_SCHEMA, "arm", spec, model,
+    return _digest(CACHE_SCHEMA, str(CACHE_EPOCH), "arm", spec, model,
                    f"{temperature:.6g}", str(base_seed), dataset_fingerprint)
 
 

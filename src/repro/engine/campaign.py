@@ -56,7 +56,7 @@ from .results import SystemResults
 from .spec import EngineSpec, arm_label
 from .telemetry import (CacheQueried, CampaignObserver, CaseFinished,
                         CaseStarted, EngineFinished, EngineStarted,
-                        RoundFinished, TelemetryLog)
+                        MemberFinished, RoundFinished, TelemetryLog)
 from .types import RepairReport, RepairRequest, run_request
 
 #: Multiplier decorrelating per-case seeds from neighbouring campaign seeds.
@@ -156,7 +156,7 @@ class CampaignResult:
 
     def to_dict(self) -> dict:
         return {
-            "schema": "repro.campaign/2",
+            "schema": "repro.campaign/3",
             "config": dict(self.config),
             "arms": [arm.to_dict() for arm in self.arms],
             "telemetry": self.telemetry.to_dict(),
@@ -244,6 +244,18 @@ class Campaign:
                           temperature=temperature)
         self.dataset = dataset if dataset is not None else load_dataset()
         self.model = model
+        # Arms are keyed by label everywhere downstream (by_label(), the
+        # bench aggregations): two arms sharing one would silently merge
+        # or drop results, so reject the collision up front.  (The plain
+        # llm_only arm and a profile arm of the campaign model collide by
+        # the paper's labelling convention — they are the same engine.)
+        labels = [arm_label(spec, model) for spec in self.specs]
+        duplicates = sorted({label for label in labels
+                             if labels.count(label) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate arm label(s) {', '.join(duplicates)}: every "
+                f"arm in a campaign needs a distinct (spec, model) identity")
         self.seed = seed
         self.temperature = temperature
         self.workers = workers
@@ -316,6 +328,15 @@ class Campaign:
 
     def _emit_case_done(self, label: str, case_name: str, index: int,
                         total: int, report: RepairReport) -> None:
+        # Ensemble arms: one event per consulted member, in consultation
+        # order.  The summaries ride inside the report, so live, pooled,
+        # and cache-replayed cases all emit the identical stream.
+        for member in report.members:
+            self._emit("on_member_done", MemberFinished(
+                engine=label, case=case_name, index=index,
+                member=member["member"], model=member["model"],
+                member_index=member["index"], passed=member["passed"],
+                seconds=member["seconds"]))
         self._emit("on_case_done",
                    CaseFinished(engine=label, case=case_name, index=index,
                                 total=total, passed=report.passed,

@@ -1,0 +1,444 @@
+"""Composite repair engines: model portfolios, cascades, and routers.
+
+The paper's headline claim is that *orchestration* — not any single model —
+conquers UBs, and Fig. 8/9 compare four model profiles precisely because no
+standalone arm wins everywhere.  This module makes that comparison a
+first-class workload: three composite :class:`~repro.engine.registry.
+RepairEngine` families that combine ordinary registered engines ("members")
+into one arm, each registered through the same
+:class:`~repro.engine.registry.EngineRegistry` as every other engine, so
+campaigns, the cache, the process pool, and the CLI all run them unchanged.
+
+* ``portfolio`` — run member arms per case and pick a winner by
+  ``strategy``: ``first_pass`` (members in declared order, stop at the
+  first Miri pass), ``best_score`` (run everyone, keep the best passing
+  report), or ``vote`` (run everyone, majority over identical repaired
+  sources).
+* ``cascade`` — the paper's fast→slow escalation lifted to the *model*
+  level: a cheap profile answers first and the expensive profile is only
+  consulted on failure, buying near-best pass rates at a fraction of the
+  latency (the RustAssistant-style single-model loop is the natural first
+  stage).
+* ``switch`` — AkiraRust-style feedback-guided routing: the detector runs
+  once, the primary :class:`~repro.miri.errors.UbKind` picks a member via
+  the ``routes`` table, and (by default) failures escalate through the
+  remaining members in order.
+
+Member grammar (documented in full in ``docs/quickstart.md``)::
+
+    portfolio?members=rustbrain:gpt-4+llm_only:claude-3.5&strategy=first_pass
+    cascade?members=gpt-3.5+rustbrain:gpt-4
+    switch?routes=stack_borrow:1,datarace:1&fallback=0
+
+``members`` is a ``+``-separated list; each member is an ordinary
+:class:`~repro.engine.spec.EngineSpec` with an optional ``:model`` suffix
+binding a :mod:`~repro.llm.profiles` profile (members without one inherit
+the ensemble's model).  Inside a member, ``;`` stands for the spec's
+``?``/``&`` and ``~`` stands for a nested ``+`` — one level of inline
+nesting (``portfolio?members=cascade;members=gpt-3.5~rustbrain+gpt-4``);
+deeper trees should register a named engine or build specs in code.
+
+Every :class:`~repro.llm.profiles.ModelProfile` also auto-registers a
+standalone arm under its own name (``gpt-3.5``, ``claude-3.5``, …): the
+``llm_only`` baseline pinned to that profile, which is what makes member
+lists like ``gpt-3.5+gpt-4`` read the way Fig. 8/9 do.
+
+Determinism: member ``i`` of a repair with ensemble seed ``s`` runs with
+the derived seed ``s * 104_729 + repair_index * 977 + i`` — a pure function
+of the ensemble's own (campaign-derived) seed, so ensemble arms shard
+byte-identically across ``serial|thread|process`` executors and nest
+without correlating their members.  Virtual-clock seconds, tokens, and
+calls accumulate across every consulted member (members run sequentially
+on the virtual clock), and the per-member summaries travel inside the
+:class:`~repro.engine.types.RepairReport` to surface as ``on_member_done``
+telemetry.
+
+Members can be cached individually (``member_cache_dir=``): each consulted
+member stores its report through :class:`~repro.engine.cache.ResultCache`
+under an ordinary per-case key, so overlapping ensembles share work and a
+warm member cache replays without executing any member engine.  The cached
+bytes are identical to a live run's, so caching never changes results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.profiles import PROFILES
+from ..miri.errors import UbKind
+from .cache import ResultCache, case_key, fingerprint_case
+from .registry import (EngineConfigError, REGISTRY, apply_config_overrides,
+                       create_engine, register_engine)
+from .spec import EngineSpec, SpecError, arm_label
+from .types import RepairRequest, run_request
+
+#: The composite engine names this module registers (also consulted by
+#: :func:`~repro.engine.spec.arm_label` — ensembles pin their members'
+#: models, so the campaign-level model does not name the arm).
+ENSEMBLE_KINDS = ("portfolio", "cascade", "switch")
+
+#: Portfolio winner-selection strategies.
+STRATEGIES = ("first_pass", "best_score", "vote")
+
+#: Member-seed derivation constants (see the module docstring).  The
+#: stride decorrelates neighbouring ensemble seeds; the repair stride
+#: separates successive repairs of one shared-isolation instance.
+_MEMBER_SEED_STRIDE = 104_729
+_REPAIR_STRIDE = 977
+
+
+def member_seed(base_seed: int, repair_index: int, member_index: int) -> int:
+    """The derived seed for one member execution — a pure function of the
+    ensemble's own seed, so ensembles stay worker-count-invariant."""
+    return (base_seed * _MEMBER_SEED_STRIDE + repair_index * _REPAIR_STRIDE
+            + member_index)
+
+
+@dataclass(frozen=True)
+class Member:
+    """One parsed ``members`` entry: a spec plus its bound model."""
+
+    spec: EngineSpec
+    #: ``None`` inherits the ensemble's model at execution time.
+    model: str | None = None
+
+    def to_string(self) -> str:
+        text = self.spec.to_string().replace("+", "~")
+        if "?" in text:
+            text = text.replace("?", ";").replace("&", ";")
+        return text if self.model is None else f"{text}:{self.model}"
+
+
+def parse_member(text: str) -> Member:
+    """Parse one member entry (``spec[:model]`` with ``;``/``~`` escapes)."""
+    text = text.strip()
+    if not text:
+        raise SpecError("empty ensemble member")
+    spec_text, sep, model = text.rpartition(":")
+    if not sep or model not in PROFILES:
+        # No model suffix (or the tail is route-table material, not a
+        # known profile): the whole entry is the spec.
+        spec_text, model = text, None
+    spec_text = spec_text.replace("~", "+")
+    if "?" not in spec_text:
+        name, _, tail = spec_text.partition(";")
+        spec_text = name + (f"?{tail.replace(';', '&')}" if tail else "")
+    else:
+        spec_text = spec_text.replace(";", "&")
+    return Member(spec=EngineSpec.parse(spec_text), model=model)
+
+
+def parse_members(text: str) -> tuple[Member, ...]:
+    """Parse a full ``members`` value (``+``-separated member entries)."""
+    members = tuple(parse_member(chunk) for chunk in text.split("+"))
+    if not members:
+        raise SpecError(f"no members in {text!r}")
+    return members
+
+
+def parse_routes(text: str, member_count: int) -> dict[UbKind, int]:
+    """Parse a ``switch`` route table: ``category:index`` pairs, ``,``-sep."""
+    routes: dict[UbKind, int] = {}
+    if not text:
+        return routes
+    for chunk in text.split(","):
+        category_text, sep, index_text = chunk.partition(":")
+        try:
+            category = UbKind(category_text.strip())
+        except ValueError:
+            known = ", ".join(kind.value for kind in UbKind)
+            raise EngineConfigError(
+                f"unknown UB category {category_text!r} in routes; "
+                f"choose from {known}") from None
+        if not sep or not index_text.strip().isdigit():
+            raise EngineConfigError(
+                f"malformed route {chunk!r} (expected category:member_index)")
+        index = int(index_text)
+        if index >= member_count:
+            raise EngineConfigError(
+                f"route {chunk!r} points past the member list "
+                f"({member_count} members)")
+        routes[category] = index
+    return routes
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+
+
+#: Default member lists per ensemble kind.  The cascade defaults encode the
+#: fast→slow story: GPT-3.5 answers the easy majority in a couple of cheap
+#: calls, and the full GPT-4 RustBrain pipeline only pays its 2x-4x
+#: overhead on the cases that actually need slow thinking.
+DEFAULT_MEMBERS = {
+    "portfolio": "llm_only:gpt-3.5+llm_only:claude-3.5+llm_only:gpt-4",
+    "cascade": "llm_only:gpt-3.5+rustbrain:gpt-4",
+    "switch": "llm_only:claude-3.5+rustbrain:gpt-4",
+}
+
+#: Default ``switch`` routing: deep-dependency and concurrency categories go
+#: straight to the slow-thinking member; everything else tries the fast
+#: member first (escalation still catches its failures).
+DEFAULT_ROUTES = ("stack_borrow:1,both_borrow:1,provenance:1,datarace:1,"
+                  "concurrency:1,tailcall:1")
+
+
+#: One ResultCache per resolved root, shared by every ensemble instance in
+#: the process.  Per-case campaign isolation constructs a fresh engine per
+#: case; without sharing, each one's in-memory read-through layer would
+#: start cold and every member hit would re-read and re-parse from disk.
+_MEMBER_CACHES: dict[str, ResultCache] = {}
+
+
+def _member_cache(root: str) -> ResultCache:
+    import pathlib
+    key = str(pathlib.Path(root).resolve())
+    cache = _MEMBER_CACHES.get(key)
+    if cache is None:
+        cache = _MEMBER_CACHES.setdefault(key, ResultCache(root))
+    return cache
+
+
+@dataclass
+class EnsembleConfig:
+    model: str = "gpt-4"
+    temperature: float = 0.5
+    seed: int = 0
+    #: ``+``-separated member specs; empty selects the kind's default.
+    members: str = ""
+    #: Portfolio winner selection: first_pass | best_score | vote.
+    strategy: str = "first_pass"
+    #: Switch routing table (``category:index,...``); empty selects the
+    #: default table when the default members are in play, else no routes.
+    routes: str = ""
+    #: Switch: member index when no route matches the detected category.
+    fallback: int = 0
+    #: Switch: consult the remaining members in order when the routed
+    #: member fails (AkiraRust's feedback-guided escalation).
+    escalate: bool = True
+    #: Virtual seconds for the routing detector run (switch only).
+    detector_seconds: float = 0.8
+    #: Optional per-member ResultCache root shared across ensembles.
+    member_cache_dir: str = ""
+
+
+class EnsembleEngine:
+    """A composite engine running member arms per the kind's strategy.
+
+    Instances follow the same contract as every other arm: fresh instances
+    for per-case campaign isolation, one shared instance for stateful
+    sweeps (``_repair_index`` keeps successive repairs decorrelated).
+    """
+
+    def __init__(self, kind: str, config: EnsembleConfig | None = None):
+        if kind not in ENSEMBLE_KINDS:
+            raise ValueError(f"unknown ensemble kind {kind!r}")
+        self.kind = kind
+        self.config = config or EnsembleConfig()
+        if self.config.strategy not in STRATEGIES:
+            raise EngineConfigError(
+                f"unknown strategy {self.config.strategy!r}; choose from "
+                f"{', '.join(STRATEGIES)}")
+        if kind != "portfolio" and self.config.strategy != "first_pass":
+            # cascade/switch are first-pass by construction; accepting the
+            # param would run different semantics than the arm label claims.
+            raise EngineConfigError(
+                f"strategy= only applies to portfolio, not {kind}")
+        members_text = self.config.members or DEFAULT_MEMBERS[kind]
+        self.members = parse_members(members_text)
+        for member in self.members:
+            REGISTRY.get(member.spec.name)  # fail fast on unknown members
+        routes_text = self.config.routes
+        if kind == "switch" and not routes_text and not self.config.members:
+            routes_text = DEFAULT_ROUTES
+        self.routes = parse_routes(routes_text, len(self.members))
+        if not 0 <= self.config.fallback < len(self.members):
+            raise EngineConfigError(
+                f"fallback index {self.config.fallback} out of range for "
+                f"{len(self.members)} members")
+        self._cache = (_member_cache(self.config.member_cache_dir)
+                       if self.config.member_cache_dir else None)
+        self._repair_index = 0
+
+    # -- member execution --------------------------------------------------
+
+    def _member_model(self, member: Member) -> str:
+        return member.model or self.config.model
+
+    def _run_member(self, member: Member, index: int, source: str,
+                    difficulty: int, repair_index: int):
+        """Run (or replay) one member, returning its RepairReport."""
+        model = self._member_model(member)
+        seed = member_seed(self.config.seed, repair_index, index)
+        key = None
+        if self._cache is not None:
+            key = case_key(member.spec.to_string(), model,
+                           self.config.temperature, seed,
+                           fingerprint_case("member", source, None,
+                                            difficulty, None))
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached[0]
+        engine = create_engine(member.spec, model=model, seed=seed,
+                               temperature=self.config.temperature)
+        report = run_request(
+            engine, RepairRequest(name="member", source=source,
+                                  difficulty=difficulty),
+            engine_label=arm_label(member.spec, model))
+        if key is not None:
+            self._cache.put(key, [report])
+        return report
+
+    # -- winner selection --------------------------------------------------
+
+    def _member_order(self, source: str) -> tuple[list[int], float]:
+        """The member consultation order and any routing overhead."""
+        if self.kind != "switch":
+            return list(range(len(self.members))), 0.0
+        # Feedback-guided routing: one detector run picks the entry point.
+        from ..miri import detect_ub
+        report = detect_ub(source)
+        category = report.errors[0].kind if report.errors else None
+        start = self.routes.get(category, self.config.fallback) \
+            if category is not None else self.config.fallback
+        order = [start]
+        if self.config.escalate:
+            order += [i for i in range(len(self.members)) if i != start]
+        return order, self.config.detector_seconds
+
+    def _select(self, reports: list) -> int | None:
+        """Index (into ``reports``) of the winning member, or ``None``."""
+        passing = [i for i, report in enumerate(reports) if report.passed]
+        if not passing:
+            return None
+        if self.config.strategy == "best_score" and self.kind == "portfolio":
+            # Cleanest passing repair: fewest hallucinations, then fastest,
+            # then declaration order — all deterministic.
+            return min(passing, key=lambda i: (reports[i].hallucinations,
+                                               reports[i].seconds, i))
+        if self.config.strategy == "vote" and self.kind == "portfolio":
+            votes: dict[str, list[int]] = {}
+            for i in passing:
+                votes.setdefault(reports[i].repaired_source, []).append(i)
+            winner = max(votes.values(),
+                         key=lambda idxs: (len(idxs), -idxs[0]))
+            return winner[0]
+        return passing[0]  # first_pass (and every cascade/switch)
+
+    # -- the engine protocol -----------------------------------------------
+
+    def repair(self, source: str, difficulty: int = 2):
+        from ..core.pipeline import RepairOutcome
+
+        repair_index = self._repair_index
+        self._repair_index += 1
+        order, overhead_seconds = self._member_order(source)
+        run_all = self.kind == "portfolio" \
+            and self.config.strategy in ("best_score", "vote")
+
+        reports = []
+        consulted: list[int] = []
+        for member_index in order:
+            member = self.members[member_index]
+            report = self._run_member(member, member_index, source,
+                                      difficulty, repair_index)
+            reports.append(report)
+            consulted.append(member_index)
+            if report.passed and not run_all:
+                break
+
+        winner = self._select(reports)
+        summaries = []
+        for member_index, report in zip(consulted, reports):
+            member = self.members[member_index]
+            summaries.append({
+                "member": member.to_string(),
+                "model": self._member_model(member),
+                "index": member_index,
+                "passed": report.passed,
+                "seconds": report.seconds,
+                "tokens": report.tokens,
+                "llm_calls": report.llm_calls,
+            })
+
+        best = reports[winner] if winner is not None else None
+        failure = None
+        if best is None:
+            failure = (f"no member passed "
+                       f"({len(reports)}/{len(self.members)} consulted)")
+        return RepairOutcome(
+            passed=best is not None,
+            repaired_source=best.repaired_source if best else None,
+            seconds=overhead_seconds + sum(r.seconds for r in reports),
+            tokens=sum(r.tokens for r in reports),
+            llm_calls=sum(r.llm_calls for r in reports),
+            solutions_tried=sum(r.solutions_tried for r in reports),
+            steps_executed=sum(r.steps_executed for r in reports),
+            hallucinations=sum(r.hallucinations for r in reports),
+            rollbacks=sum(r.rollbacks for r in reports),
+            used_knowledge_base=any(r.used_knowledge_base for r in reports),
+            used_feedback=any(r.used_feedback for r in reports),
+            applied_rules=list(best.applied_rules) if best else [],
+            failure_reason=failure,
+            members=summaries,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registration
+
+
+def _ensemble_factory(kind: str):
+    def build(*, model: str = "gpt-4", seed: int = 0,
+              temperature: float = 0.5, **overrides) -> EnsembleEngine:
+        config = EnsembleConfig(model=model, seed=seed,
+                                temperature=temperature)
+        apply_config_overrides(config, overrides)
+        return EnsembleEngine(kind, config)
+    return build
+
+
+register_engine(
+    "portfolio",
+    summary="run member arms per case and keep a winner "
+            "(strategy=first_pass|best_score|vote)",
+    tags=("ensemble",),
+)(_ensemble_factory("portfolio"))
+
+register_engine(
+    "cascade",
+    summary="cheap model first, escalate to the expensive profile on "
+            "failure (fast/slow thinking at the model level)",
+    tags=("ensemble",),
+)(_ensemble_factory("cascade"))
+
+register_engine(
+    "switch",
+    summary="route each case to a member by detected UB category "
+            "(AkiraRust-style feedback-guided switching)",
+    tags=("ensemble",),
+)(_ensemble_factory("switch"))
+
+
+def _profile_arm_factory(profile_name: str):
+    def build(*, model: str = "gpt-4", seed: int = 0,
+              temperature: float = 0.5, **overrides):
+        # Lazy: baselines import the registry at module load.
+        from ..baselines.llm_only import LLMOnlyConfig, LLMOnlyRepair
+        config = LLMOnlyConfig(model=profile_name, seed=seed,
+                               temperature=temperature)
+        apply_config_overrides(config, overrides)
+        return LLMOnlyRepair(config)
+    return build
+
+
+# Every capability profile is a standalone arm under its own name, so
+# member lists (and `repro campaign --engine gpt-4 --engine cascade`)
+# compare models the way Fig. 8/9 label them.
+for _name in sorted(PROFILES):
+    register_engine(
+        _name,
+        summary=f"standalone {_name} arm (llm_only pinned to the "
+                f"{_name} capability profile)",
+        tags=("baseline", "model"),
+    )(_profile_arm_factory(_name))

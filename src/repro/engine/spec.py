@@ -151,10 +151,24 @@ def arm_label(spec: EngineSpec | str, model: str) -> str:
     """The paper's arm-labelling convention, shared by campaigns and bench.
 
     The plain standalone-LLM arm is labelled with the bare model name
-    (Fig. 8/9 call it just "GPT-4"); every other arm — including a
-    parameterised ``llm_only`` — is ``model+spec``.
+    (Fig. 8/9 call it just "GPT-4"); arms that pin their own models —
+    the auto-registered per-profile arms and the ensemble engines, whose
+    members each bind a profile — are labelled by the spec alone; every
+    other arm, including a parameterised ``llm_only``, is ``model+spec``.
     """
     spec = EngineSpec.coerce(spec)
     if spec.name == "llm_only" and not spec.params:
         return model
+    if _model_free(spec.name):
+        return spec.to_string()
     return f"{model}+{spec.to_string()}"
+
+
+def _model_free(name: str) -> bool:
+    """True for engines whose arm identity does not include the campaign
+    model (lazy imports: profiles and ensemble both import this module)."""
+    from ..llm.profiles import PROFILES
+    if name in PROFILES:
+        return True
+    from .ensemble import ENSEMBLE_KINDS
+    return name in ENSEMBLE_KINDS

@@ -66,6 +66,27 @@ class RoundFinished:
 
 
 @dataclass(frozen=True)
+class MemberFinished:
+    """One ensemble member finished (or was skipped) within one case.
+
+    Emitted once per entry in a report's ``members`` list (the members the
+    ensemble actually consulted, in consultation order), immediately before
+    that case's :class:`CaseFinished` — for live runs, cache replays, and
+    pooled workers alike, since the summaries travel inside the
+    :class:`~repro.engine.types.RepairReport` itself.
+    """
+
+    engine: str
+    case: str
+    index: int
+    member: str
+    model: str
+    member_index: int
+    passed: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
 class CacheQueried:
     """The result cache was consulted for one case (hit or miss).
 
@@ -82,7 +103,8 @@ class CacheQueried:
 
 
 CampaignEvent = (EngineStarted | EngineFinished | CaseStarted
-                 | CaseFinished | RoundFinished | CacheQueried)
+                 | CaseFinished | RoundFinished | MemberFinished
+                 | CacheQueried)
 
 
 # ---------------------------------------------------------------------------
@@ -105,6 +127,9 @@ class CampaignObserver:
         pass
 
     def on_round(self, event: RoundFinished) -> None:
+        pass
+
+    def on_member_done(self, event: MemberFinished) -> None:
         pass
 
     def on_cache(self, event: CacheQueried) -> None:
@@ -132,6 +157,9 @@ class TelemetryLog(CampaignObserver):
     def on_round(self, event: RoundFinished) -> None:
         self.events.append(event)
 
+    def on_member_done(self, event: MemberFinished) -> None:
+        self.events.append(event)
+
     def on_cache(self, event: CacheQueried) -> None:
         self.events.append(event)
 
@@ -155,6 +183,7 @@ class TelemetryLog(CampaignObserver):
             "cases_started": self.count(CaseStarted),
             "cases_finished": self.count(CaseFinished),
             "rounds": self.count(RoundFinished),
+            "members_finished": self.count(MemberFinished),
             "cache_hits": hits,
             "cache_misses": misses,
         }

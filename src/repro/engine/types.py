@@ -61,6 +61,12 @@ class RepairReport:
     used_feedback: bool
     applied_rules: list[str] = field(default_factory=list)
     failure_reason: str | None = None
+    #: Ensemble-member summaries (``member``/``model``/``index``/``passed``/
+    #: ``seconds``/``tokens``/``llm_calls`` dicts); empty for ordinary arms.
+    #: Carried through the cache and the process pool so the campaign can
+    #: emit ``on_member_done`` telemetry identically for live and replayed
+    #: cases.
+    members: list[dict] = field(default_factory=list)
 
     def to_case_result(self) -> CaseResult:
         return CaseResult(
@@ -97,6 +103,7 @@ class RepairReport:
             "used_feedback": self.used_feedback,
             "applied_rules": list(self.applied_rules),
             "failure_reason": self.failure_reason,
+            "members": [dict(member) for member in self.members],
         }
 
     @classmethod
@@ -123,6 +130,8 @@ class RepairReport:
             used_feedback=payload["used_feedback"],
             applied_rules=list(payload.get("applied_rules", [])),
             failure_reason=payload.get("failure_reason"),
+            members=[dict(member)
+                     for member in payload.get("members", [])],
         )
 
 
@@ -162,4 +171,5 @@ def run_request(engine, request: RepairRequest,
         used_feedback=outcome.used_feedback,
         applied_rules=list(outcome.applied_rules),
         failure_reason=outcome.failure_reason,
+        members=[dict(member) for member in getattr(outcome, "members", [])],
     )

@@ -10,6 +10,11 @@ The numbers are calibrated so that the *standalone-model* repair rates land
 in the bands Fig. 8/9 report (GPT-4 alone ≈ 55-65% pass, GPT-3.5 clearly
 weaker, Claude-3.5 close to GPT-4, GPT-O1 best at reasoning but weak on rare
 error shapes). Everything downstream of these probabilities is mechanistic.
+
+Every profile in :data:`PROFILES` also auto-registers a standalone engine
+arm under its own name (see :mod:`repro.engine.ensemble`), which is how
+ensemble member lists and ``repro campaign --engine gpt-4`` address models
+directly.
 """
 
 from __future__ import annotations

@@ -167,7 +167,7 @@ class TestSerialization:
         path = tmp_path / "campaign.json"
         serial_run.save(path)
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro.campaign/2"
+        assert payload["schema"] == "repro.campaign/3"
         assert payload["config"]["engines"] == ENGINES
         assert len(payload["arms"]) == len(ENGINES)
         for arm, spec in zip(payload["arms"], ENGINES):

@@ -1,0 +1,354 @@
+"""Ensemble engines: member grammar, strategies, determinism, caching."""
+
+import json
+
+import pytest
+
+from repro.corpus.dataset import Dataset, load_dataset
+from repro.engine import (Campaign, CampaignObserver, EngineConfigError,
+                          MemberFinished, ResultCache, SpecError,
+                          create_engine, member_seed, parse_member,
+                          parse_members, parse_routes)
+from repro.engine.ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS,
+                                   EnsembleEngine)
+from repro.llm.profiles import PROFILES
+from repro.miri.errors import UbKind
+
+SEED = 3
+ENSEMBLES = ["portfolio", "cascade", "switch"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset().subset([UbKind.UNINIT, UbKind.PANIC,
+                                  UbKind.STACK_BORROW])
+
+
+@pytest.fixture(scope="module")
+def small(dataset):
+    return Dataset(tuple(list(dataset)[:6]))
+
+
+# ---------------------------------------------------------------------------
+# Member grammar
+
+
+class TestMemberGrammar:
+    def test_plain_member(self):
+        member = parse_member("rustbrain")
+        assert member.spec.name == "rustbrain"
+        assert member.model is None
+
+    def test_model_suffix(self):
+        member = parse_member("llm_only:claude-3.5")
+        assert member.spec.name == "llm_only"
+        assert member.model == "claude-3.5"
+
+    def test_params_with_semicolons(self):
+        member = parse_member("rustbrain;kb=off;temperature=0.2:gpt-4")
+        assert member.spec.to_string() == \
+            "rustbrain?kb=off&temperature=0.2"
+        assert member.model == "gpt-4"
+
+    def test_nested_member_list_with_tilde(self):
+        member = parse_member("cascade;members=gpt-3.5~rustbrain")
+        assert member.spec.to_string() == "cascade?members=gpt-3.5+rustbrain"
+
+    def test_round_trip(self):
+        for text in ("rustbrain", "llm_only:gpt-4",
+                     "rustbrain;kb=off:claude-3.5",
+                     "cascade;members=gpt-3.5~rustbrain"):
+            member = parse_member(text)
+            assert parse_member(member.to_string()) == member
+
+    def test_unknown_model_tail_is_not_a_model(self):
+        # A ':tail' that names no profile belongs to the spec text and
+        # should surface as a spec error, not run with a bogus model.
+        with pytest.raises(SpecError):
+            parse_member("llm_only:gpt4-typo")
+
+    def test_full_member_list(self):
+        members = parse_members("rustbrain:gpt-4+llm_only:claude-3.5")
+        assert [(m.spec.name, m.model) for m in members] == \
+            [("rustbrain", "gpt-4"), ("llm_only", "claude-3.5")]
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(SpecError):
+            parse_members("rustbrain++llm_only")
+
+    def test_routes_parse_and_validate(self):
+        routes = parse_routes("stack_borrow:1,datarace:0", 2)
+        assert routes == {UbKind.STACK_BORROW: 1, UbKind.DATA_RACE: 0}
+        with pytest.raises(EngineConfigError, match="unknown UB category"):
+            parse_routes("quantum:0", 2)
+        with pytest.raises(EngineConfigError, match="past the member list"):
+            parse_routes("alloc:7", 2)
+        with pytest.raises(EngineConfigError, match="malformed route"):
+            parse_routes("alloc", 2)
+
+
+# ---------------------------------------------------------------------------
+# Construction and validation
+
+
+class TestConstruction:
+    def test_every_kind_builds_with_defaults(self):
+        for kind in ENSEMBLE_KINDS:
+            engine = create_engine(kind)
+            assert isinstance(engine, EnsembleEngine)
+            assert len(engine.members) >= 2
+
+    def test_profile_arms_registered(self):
+        for name in PROFILES:
+            engine = create_engine(name, seed=1)
+            assert engine.config.model == name
+
+    def test_unknown_member_fails_fast(self):
+        from repro.engine import UnknownEngineError
+        with pytest.raises(UnknownEngineError):
+            create_engine("portfolio?members=quantum_typo+rustbrain")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(EngineConfigError, match="strategy"):
+            create_engine("portfolio?strategy=quantum")
+
+    def test_strategy_rejected_for_non_portfolio_kinds(self):
+        # cascade/switch are first-pass by construction; silently ignoring
+        # strategy= would run different semantics than the label claims.
+        for spec in ("cascade?strategy=vote", "switch?strategy=best_score"):
+            with pytest.raises(EngineConfigError, match="only applies"):
+                create_engine(spec)
+        assert create_engine("cascade?strategy=first_pass") is not None
+
+    def test_duplicate_arm_labels_rejected(self, small):
+        # llm_only under model X and the X profile arm are the same engine
+        # with the same label; keying arms by label would merge them.
+        with pytest.raises(ValueError, match="duplicate arm label"):
+            Campaign(["llm_only", "gpt-4"], small, model="gpt-4")
+        with pytest.raises(ValueError, match="duplicate arm label"):
+            Campaign(["cascade", "cascade"], small)
+
+    def test_fallback_out_of_range_rejected(self):
+        with pytest.raises(EngineConfigError, match="fallback"):
+            create_engine("switch?fallback=9")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(EngineConfigError):
+            create_engine("portfolio?quantum=3")
+
+    def test_campaign_fails_fast_on_bad_member(self, small):
+        from repro.engine import UnknownEngineError
+        with pytest.raises(UnknownEngineError):
+            Campaign(["portfolio?members=quantum_typo"], small)
+
+
+# ---------------------------------------------------------------------------
+# Semantics
+
+
+class TestSemantics:
+    def test_first_pass_stops_at_winner(self, dataset):
+        case = next(c for c in dataset if c.category is UbKind.UNINIT)
+        outcome = create_engine("cascade", seed=SEED).repair(
+            case.source, case.difficulty)
+        if outcome.members[0]["passed"]:
+            assert len(outcome.members) == 1
+        assert outcome.passed == any(m["passed"] for m in outcome.members)
+
+    def test_best_score_and_vote_consult_everyone(self, dataset):
+        case = list(dataset)[0]
+        for strategy in ("best_score", "vote"):
+            outcome = create_engine(f"portfolio?strategy={strategy}",
+                                    seed=SEED).repair(case.source,
+                                                      case.difficulty)
+            assert len(outcome.members) == 3  # default member list
+
+    def test_member_accounting_sums(self, dataset):
+        case = list(dataset)[0]
+        outcome = create_engine("portfolio?strategy=best_score",
+                                seed=SEED).repair(case.source,
+                                                  case.difficulty)
+        assert outcome.tokens == sum(m["tokens"] for m in outcome.members)
+        assert outcome.llm_calls == sum(m["llm_calls"]
+                                        for m in outcome.members)
+        assert outcome.seconds == pytest.approx(
+            sum(m["seconds"] for m in outcome.members))
+
+    def test_switch_routes_on_category(self, dataset):
+        # Default routes send stack_borrow straight to the slow member.
+        case = next(c for c in dataset
+                    if c.category is UbKind.STACK_BORROW)
+        outcome = create_engine("switch", seed=SEED).repair(
+            case.source, case.difficulty)
+        assert outcome.members[0]["index"] == 1
+        # ... and the routing detector run is charged to the clock.
+        assert outcome.seconds == pytest.approx(
+            0.8 + sum(m["seconds"] for m in outcome.members))
+
+    def test_switch_no_escalate_consults_one_member(self, dataset):
+        case = list(dataset)[0]
+        outcome = create_engine("switch?escalate=off", seed=SEED).repair(
+            case.source, case.difficulty)
+        assert len(outcome.members) == 1
+
+    def test_member_seed_scheme_is_stable(self):
+        # The published derivation: changing any input changes the seed.
+        base = member_seed(3, 0, 0)
+        assert member_seed(3, 0, 1) != base
+        assert member_seed(3, 1, 0) != base
+        assert member_seed(4, 0, 0) != base
+        assert member_seed(3, 0, 0) == base
+
+    def test_members_inherit_ensemble_model(self, dataset):
+        case = list(dataset)[0]
+        outcome = create_engine("portfolio?members=llm_only+llm_only",
+                                model="claude-3.5", seed=SEED).repair(
+                                    case.source, case.difficulty)
+        assert {m["model"] for m in outcome.members} == {"claude-3.5"}
+
+
+# ---------------------------------------------------------------------------
+# Campaign determinism
+
+
+class TestCampaignDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_run(self, dataset):
+        return Campaign(ENSEMBLES, dataset, seed=SEED, workers=1,
+                        shard_size=4, executor="serial").run()
+
+    def test_process_pool_byte_identical(self, dataset, serial_run):
+        for workers in (2, 4):
+            pooled = Campaign(ENSEMBLES, dataset, seed=SEED,
+                              workers=workers, shard_size=4,
+                              executor="process").run()
+            assert json.dumps([arm.to_dict() for arm in pooled.arms],
+                              sort_keys=True) == \
+                json.dumps([arm.to_dict() for arm in serial_run.arms],
+                           sort_keys=True)
+            assert pooled.telemetry.to_dict() == \
+                serial_run.telemetry.to_dict()
+
+    def test_thread_pool_matches(self, dataset, serial_run):
+        threaded = Campaign(ENSEMBLES, dataset, seed=SEED, workers=4,
+                            shard_size=4, executor="thread").run()
+        assert threaded.by_label() == serial_run.by_label()
+
+    def test_nested_ensemble_is_deterministic(self, small):
+        spec = "portfolio?members=cascade+gpt-4&strategy=first_pass"
+        serial = Campaign([spec], small, seed=SEED,
+                          executor="serial").run()
+        pooled = Campaign([spec], small, seed=SEED, workers=3,
+                          shard_size=2, executor="process").run()
+        assert json.dumps([arm.to_dict() for arm in serial.arms],
+                          sort_keys=True) == \
+            json.dumps([arm.to_dict() for arm in pooled.arms],
+                       sort_keys=True)
+
+    def test_member_telemetry_emitted(self, serial_run):
+        events = [event for event in serial_run.telemetry.events
+                  if isinstance(event, MemberFinished)]
+        assert events
+        reported = sum(len(report.members) for arm in serial_run.arms
+                       for report in arm.reports)
+        assert len(events) == reported
+        assert serial_run.telemetry.to_dict()["members_finished"] == reported
+
+    def test_ensemble_labels_omit_campaign_model(self, serial_run):
+        # Ensembles pin their members' models, so the campaign-level model
+        # must not name the arm.
+        assert [arm.label for arm in serial_run.arms] == ENSEMBLES
+
+
+# ---------------------------------------------------------------------------
+# Caching
+
+
+class TestCaching:
+    def test_warm_replay_executes_no_members(self, tmp_path, small,
+                                             monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = "portfolio?members=cascade+gpt-4"  # nested ensemble
+        kwargs = dict(seed=SEED, shard_size=2, cache=cache)
+        cold = Campaign([spec], small, **kwargs).run()
+        assert cold.telemetry.cache_counts() == (0, len(small))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("a member executed during a warm replay")
+
+        monkeypatch.setattr(EnsembleEngine, "_run_member", boom)
+        warm = Campaign([spec], small, **kwargs).run()
+        assert warm.telemetry.cache_counts() == (len(small), 0)
+        assert [arm.reports for arm in warm.arms] == \
+            [arm.reports for arm in cold.arms]
+        assert warm.telemetry.to_dict()["members_finished"] == \
+            cold.telemetry.to_dict()["members_finished"]
+
+    def test_member_cache_shares_work_and_bytes(self, tmp_path, small):
+        # Two different ensembles sharing a member cache: the overlapping
+        # members hit, and results are identical to uncached runs.
+        member_dir = tmp_path / "members"
+        specs = [f"cascade?member_cache_dir={member_dir}",
+                 f"switch?member_cache_dir={member_dir}"]
+        cached = Campaign(specs, small, seed=SEED).run()
+        plain = Campaign(["cascade", "switch"], small, seed=SEED).run()
+        for cached_arm, plain_arm in zip(cached.arms, plain.arms):
+            assert [r.members for r in cached_arm.reports] == \
+                [r.members for r in plain_arm.reports]
+            assert [r.passed for r in cached_arm.reports] == \
+                [r.passed for r in plain_arm.reports]
+
+    def test_member_cache_shared_across_instances(self, tmp_path):
+        # Per-case isolation builds one engine per case; the in-memory
+        # read-through layer must survive across them, not start cold.
+        from repro.engine.ensemble import _member_cache
+        root = tmp_path / "members"
+        assert _member_cache(root) is _member_cache(str(root))
+
+    def test_member_cache_warm_run_is_identical(self, tmp_path, small):
+        member_dir = tmp_path / "members"
+        spec = f"cascade?member_cache_dir={member_dir}"
+        first = Campaign([spec], small, seed=SEED).run()
+        second = Campaign([spec], small, seed=SEED).run()
+        assert [arm.reports for arm in first.arms] == \
+            [arm.reports for arm in second.arms]
+
+    def test_cache_epoch_invalidates_keys(self, monkeypatch):
+        from repro.engine import cache as cache_module
+        before = cache_module.case_key("llm_only", "gpt-4", 0.5, 7, "fp")
+        before_arm = cache_module.arm_key("llm_only", "gpt-4", 0.5, 7, "fp")
+        monkeypatch.setattr(cache_module, "CACHE_EPOCH",
+                            cache_module.CACHE_EPOCH + 1)
+        assert cache_module.case_key("llm_only", "gpt-4", 0.5, 7,
+                                     "fp") != before
+        assert cache_module.arm_key("llm_only", "gpt-4", 0.5, 7,
+                                    "fp") != before_arm
+
+
+# ---------------------------------------------------------------------------
+# Observer integration
+
+
+class TestObserver:
+    def test_on_member_done_hook(self, small):
+        seen = []
+
+        class Recorder(CampaignObserver):
+            def on_member_done(self, event):
+                assert isinstance(event, MemberFinished)
+                seen.append((event.case, event.member_index, event.passed))
+
+        Campaign(["cascade"], Dataset(tuple(list(small)[:2])), seed=SEED,
+                 observers=[Recorder()]).run()
+        assert seen
+        assert all(isinstance(index, int) for _case, index, _p in seen)
+
+
+def test_default_members_use_three_profiles():
+    # The acceptance bar: ensembles composed from >= 3 model profiles.
+    models = set()
+    for kind in ENSEMBLE_KINDS:
+        for member in parse_members(DEFAULT_MEMBERS[kind]):
+            if member.model:
+                models.add(member.model)
+    assert len(models) >= 3

@@ -1,0 +1,65 @@
+"""The docs can't rot: snippets compile, CLI flags exist, links resolve.
+
+Runs the ``tools/check_docs.py`` checker inside tier-1 so a PR that
+renames a flag or breaks a documented example fails before CI's separate
+docs step does.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def cli_options():
+    return check_docs._cli_options()
+
+
+def _doc_paths():
+    return check_docs.default_doc_paths()
+
+
+def test_doc_set_is_nonempty():
+    paths = {path.name for path in _doc_paths()}
+    assert {"README.md", "DESIGN.md", "quickstart.md"} <= paths
+
+
+@pytest.mark.parametrize("path", _doc_paths(), ids=lambda p: p.name)
+def test_doc_file_is_clean(path, cli_options):
+    assert check_docs.check_file(path, cli_options) == []
+
+
+class TestCheckerCatchesRot:
+    """The checker itself must fail on the drift it exists to catch."""
+
+    def test_bad_python_block(self):
+        assert check_docs.check_python_block("def broken(:\n    pass")
+
+    def test_doctest_block(self):
+        assert check_docs.check_python_block(">>> 1 + 1\n2") is None
+
+    def test_unknown_flag(self, cli_options):
+        errors = check_docs.check_bash_block(
+            "python -m repro.cli campaign --engine x --quantum", cli_options)
+        assert errors and "--quantum" in errors[0]
+
+    def test_continuation_lines_joined(self, cli_options):
+        block = ("python -m repro.cli campaign \\\n"
+                 "    --engine rustbrain --executor process")
+        assert check_docs.check_bash_block(block, cli_options) == []
+
+    def test_unknown_subcommand(self, cli_options):
+        errors = check_docs.check_bash_block(
+            "python -m repro.cli quantum --engine x", cli_options)
+        assert errors
+
+    def test_broken_link(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](nope/gone.md)", encoding="utf-8")
+        assert check_docs.check_links(doc, doc.read_text())

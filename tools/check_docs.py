@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Docs checker: keep README/DESIGN/docs code blocks and links from rotting.
+
+Three mechanical checks over every tracked markdown file:
+
+1. **Python blocks compile.**  Every ```` ```python ```` fence must be
+   valid syntax (doctest-style blocks are converted via
+   :func:`doctest.script_from_examples` first).  Nothing is executed —
+   snippets may reference placeholder variables — but typos, stale
+   f-string syntax, and half-renamed imports fail here.
+2. **CLI flags exist.**  Every ``--flag`` on a ``repro.cli <subcommand>``
+   line inside a ```` ```bash ```` fence must be an option argparse
+   actually registers for that subcommand (continuation lines are
+   joined first).  This is the drift the engines/campaign examples
+   accumulated between PRs: documented flags are now validated against
+   ``build_parser()`` itself, the single source of truth.
+3. **Relative links resolve.**  Every ``[text](path)`` markdown link that
+   is not an URL or pure anchor must point at an existing file.
+
+Run:  python tools/check_docs.py          # checks the default doc set
+      python tools/check_docs.py FILE...  # checks specific files
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: The documentation set checked by default (plus everything in docs/).
+DEFAULT_DOCS = ("README.md", "DESIGN.md", "ROADMAP.md", "PAPER.md")
+
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def iter_code_blocks(text: str):
+    """Yield ``(language, content, first_line_number)`` per fenced block."""
+    language = None
+    content: list[str] = []
+    start = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE_RE.match(line.strip())
+        if match and language is None:
+            language = match.group(1) or "text"
+            content = []
+            start = number + 1
+        elif line.strip() == "```" and language is not None:
+            yield language, "\n".join(content), start
+            language = None
+        elif language is not None:
+            content.append(line)
+
+
+def check_python_block(content: str) -> str | None:
+    """Syntax-check one python block; returns an error message or None."""
+    if ">>>" in content:
+        try:
+            content = doctest.script_from_examples(content)
+        except ValueError as exc:
+            return f"malformed doctest: {exc}"
+    try:
+        compile(content, "<doc snippet>", "exec")
+    except SyntaxError as exc:
+        return f"does not compile: {exc.msg} (snippet line {exc.lineno})"
+    return None
+
+
+def _cli_options() -> dict[str, set[str]]:
+    """Subcommand name -> the option strings argparse registers for it."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    return {name: {option for action in sub._actions
+                   for option in action.option_strings}
+            for name, sub in subparsers.choices.items()}
+
+
+def _joined_commands(content: str):
+    """Bash lines with backslash continuations merged."""
+    pending = ""
+    for line in content.splitlines():
+        line = line.strip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        yield pending + line
+        pending = ""
+    if pending:
+        yield pending
+
+
+def check_bash_block(content: str, cli_options: dict[str, set[str]]):
+    """Validate every documented repro.cli flag against argparse."""
+    errors = []
+    for command in _joined_commands(content):
+        if "repro.cli" not in command:
+            continue
+        tail = command.split("repro.cli", 1)[1].split()
+        if not tail:
+            continue
+        subcommand = tail[0]
+        valid = cli_options.get(subcommand)
+        if valid is None:
+            errors.append(f"unknown repro.cli subcommand {subcommand!r}")
+            continue
+        for flag in _FLAG_RE.findall(" ".join(tail[1:])):
+            if flag not in valid:
+                errors.append(
+                    f"flag {flag} is not an option of "
+                    f"'repro.cli {subcommand}'")
+    return errors
+
+
+def check_links(path: pathlib.Path, text: str):
+    """Every relative markdown link must resolve from the file's parent."""
+    errors = []
+    for target in _LINK_RE.findall(text):
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"broken link: {target}")
+    return errors
+
+
+def check_file(path: pathlib.Path,
+               cli_options: dict[str, set[str]] | None = None) -> list[str]:
+    """All errors for one markdown file, each prefixed with its location."""
+    cli_options = cli_options if cli_options is not None else _cli_options()
+    text = path.read_text(encoding="utf-8")
+    errors = [f"{path}: {error}" for error in check_links(path, text)]
+    for language, content, line in iter_code_blocks(text):
+        if language == "python":
+            error = check_python_block(content)
+            if error:
+                errors.append(f"{path}:{line}: {error}")
+        elif language in ("bash", "sh", "shell", "console"):
+            errors.extend(f"{path}:{line}: {error}"
+                          for error in check_bash_block(content, cli_options))
+    return errors
+
+
+def default_doc_paths() -> list[pathlib.Path]:
+    paths = [ROOT / name for name in DEFAULT_DOCS if (ROOT / name).exists()]
+    paths.extend(sorted((ROOT / "docs").glob("**/*.md")))
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = ([pathlib.Path(arg) for arg in argv] if argv
+             else default_doc_paths())
+    cli_options = _cli_options()
+    errors = []
+    for path in paths:
+        errors.extend(check_file(path, cli_options))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(paths)} docs: "
+          f"{'OK' if not errors else f'{len(errors)} problem(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
