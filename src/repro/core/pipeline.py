@@ -21,7 +21,7 @@ from ..lang.parser import parse_program
 from ..lang.printer import print_program
 from ..llm.client import ContextOverflow, LLMClient, VirtualClock
 from ..llm.oracle import rank_candidate_rules
-from ..miri import detect_ub
+from ..miri import BatchVerifier, detect_ub
 from .agents.reasoning import AbstractReasoningAgent
 from .agents.rollback import RollbackPolicy
 from .features import CaseFeatures, analyse
@@ -48,6 +48,12 @@ class RustBrainConfig:
     #: virtual seconds per detector invocation (a real `cargo miri` run).
     detector_seconds: float = 0.8
     max_steps_per_solution: int = 4
+    #: Route S2 per-candidate verification through the batched detector
+    #: entry point (:func:`repro.miri.detect_ub_batch`): identical verdicts
+    #: and identical virtual-clock charges, strictly fewer interpreter
+    #: executions when candidates coincide.  ``batch_verify=off`` keeps the
+    #: one-detector-run-per-step path (the benchmark gates compare both).
+    batch_verify: bool = True
 
 
 @dataclass
@@ -99,9 +105,13 @@ class RustBrain:
                            clock=clock)
         self._repair_index += 1
 
-        # F1: detection.
+        # F1: detection.  The F1 report seeds the per-repair verification
+        # memo: any S2 rewrite chain that arrives back at the original
+        # program re-verifies for free.
+        verifier = BatchVerifier() if config.batch_verify else None
         clock.advance(config.detector_seconds)
-        report = detect_ub(source, collect=True)
+        report = verifier.verify(source) if verifier is not None \
+            else detect_ub(source, collect=True)
         if report.passed:
             return self._outcome(client, True, source, 0, 0, 0, 0, [], [],
                                  used_kb=False, used_feedback=False)
@@ -114,7 +124,8 @@ class RustBrain:
 
         slow = SlowThinking(client, config.rollback,
                             config.detector_seconds,
-                            config.max_steps_per_solution)
+                            config.max_steps_per_solution,
+                            verifier=verifier)
         reasoning = (AbstractReasoningAgent(client, self.kb,
                                             config.use_pruning)
                      if self.kb is not None else None)

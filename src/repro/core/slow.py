@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..lang import ast_nodes as ast
 from ..llm.client import LLMClient
+from ..miri import BatchVerifier
 from .agents.base import AgentResult, FixAgent
 from .agents.rollback import RollbackAgent, RollbackPolicy
 from .solution import Solution
@@ -34,12 +35,17 @@ class SlowThinking:
     def __init__(self, client: LLMClient,
                  rollback_policy: RollbackPolicy = RollbackPolicy.ADAPTIVE,
                  detector_seconds: float = 0.8,
-                 max_steps_per_solution: int = 4):
+                 max_steps_per_solution: int = 4,
+                 verifier: BatchVerifier | None = None):
         self.client = client
         self.rollback_policy = rollback_policy
         self.max_steps = max_steps_per_solution
+        #: One batched-verification memo shared by all three agents, so the
+        #: dedup spans every solution and round of the repair this instance
+        #: serves; ``None`` keeps the one-detector-run-per-step path.
+        self.verifier = verifier
         self.agents = {
-            name: FixAgent(name, client, detector_seconds)
+            name: FixAgent(name, client, detector_seconds, verifier)
             for name in ("safe_replacement", "assertion", "modification")
         }
 

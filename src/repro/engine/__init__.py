@@ -21,9 +21,10 @@ from .cache import (CACHE_EPOCH, CACHE_SCHEMA, ResultCache, arm_key,
                     case_key, fingerprint_case, fingerprint_dataset)
 from .campaign import (EXECUTORS, ArmRun, Campaign, CampaignResult,
                        case_seed, run_cases)
-from .ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS, STRATEGIES,
-                       EnsembleConfig, EnsembleEngine, Member, member_seed,
-                       parse_member, parse_members, parse_routes)
+from .ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS, MEMBER_EXECUTORS,
+                       STRATEGIES, EnsembleConfig, EnsembleEngine, Member,
+                       member_seed, parse_member, parse_members,
+                       parse_routes, parse_weights)
 from .registry import (REGISTRY, EngineConfigError, EngineInfo,
                        EngineRegistry, RepairEngine, UnknownEngineError,
                        apply_config_overrides, available_engines,

@@ -50,9 +50,17 @@ CACHE_SCHEMA = "repro.result-cache/1"
 #: are recomputed instead of silently replaying stale behaviour.  The
 #: convention (see DESIGN.md "Cache hygiene") is one bump per
 #: behaviour-changing PR; bumping too often only costs a cold run.
-CACHE_EPOCH = 3
+#: Epoch 4: concurrent ensemble members (member_workers= waves charge
+#: max(member seconds) instead of the sum) and per-member wave summaries.
+CACHE_EPOCH = 4
 
 _SEP = "\x1f"  # unit separator: cannot appear in specs, names, or numbers
+
+#: Construction-time tmp sweep spares files younger than this — an atomic
+#: write completes in milliseconds, so an hour-old ``*.tmp`` is a dead
+#: worker's orphan, never a live writer.  ``clear()`` sweeps regardless of
+#: age (an explicit wipe of the root).
+_TMP_ORPHAN_AGE_SECONDS = 3600.0
 
 
 def _digest(*parts: str) -> str:
@@ -103,6 +111,12 @@ class ResultCache:
         self.misses = 0
         #: Per-process read-through layer; disk stays the source of truth.
         self._memory: dict[str, list[RepairReport]] = {}
+        # A worker killed between mkstemp and os.replace leaves a ``*.tmp``
+        # orphan that nothing would ever reclaim; sweep on construction (and
+        # in clear()) so they cannot accumulate across runs.  The
+        # construction sweep is age-gated: a tmp file younger than the
+        # threshold may be a concurrent writer mid-put, not an orphan.
+        self._sweep_tmp(max_age_seconds=_TMP_ORPHAN_AGE_SECONDS)
 
     # -- paths -------------------------------------------------------------
 
@@ -139,26 +153,55 @@ class ResultCache:
             {"schema": CACHE_SCHEMA,
              "reports": [report.to_dict() for report in reports]},
             sort_keys=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+        self._write_atomic(path, payload)
         self._memory[key] = list(reports)
+
+    def _write_atomic(self, path: pathlib.Path, payload: str) -> None:
+        last_error: OSError | None = None
+        for _attempt in range(2):
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError as err:
+                # A concurrent sweep (another process constructing or
+                # clearing this root) unlinked our tmp between write and
+                # replace; one rewrite wins either way.
+                last_error = err
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        raise last_error
 
     # -- maintenance -------------------------------------------------------
 
+    def _sweep_tmp(self, max_age_seconds: float = 0.0) -> None:
+        """Reclaim orphaned atomic-write temp files (dead workers).
+
+        ``max_age_seconds > 0`` spares files younger than the threshold —
+        they may belong to a concurrent writer still between mkstemp and
+        replace (a genuine orphan is reclaimed by any later sweep).
+        """
+        import time
+        cutoff = time.time() - max_age_seconds
+        for entry in self.root.glob("*/*.tmp"):
+            with contextlib.suppress(OSError):
+                if not max_age_seconds or entry.stat().st_mtime <= cutoff:
+                    entry.unlink()
+
     def __len__(self) -> int:
+        # Orphaned ``*.tmp`` files are never entries; only committed
+        # ``<key>.json`` files count.
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> None:
         for entry in self.root.glob("*/*.json"):
             with contextlib.suppress(OSError):
                 entry.unlink()
+        self._sweep_tmp()
         self._memory.clear()
         self.hits = 0
         self.misses = 0

@@ -156,7 +156,7 @@ class CampaignResult:
 
     def to_dict(self) -> dict:
         return {
-            "schema": "repro.campaign/3",
+            "schema": "repro.campaign/4",
             "config": dict(self.config),
             "arms": [arm.to_dict() for arm in self.arms],
             "telemetry": self.telemetry.to_dict(),
@@ -336,7 +336,8 @@ class Campaign:
                 engine=label, case=case_name, index=index,
                 member=member["member"], model=member["model"],
                 member_index=member["index"], passed=member["passed"],
-                seconds=member["seconds"]))
+                seconds=member["seconds"],
+                wave=member.get("wave", 0)))
         self._emit("on_case_done",
                    CaseFinished(engine=label, case=case_name, index=index,
                                 total=total, passed=report.passed,
@@ -585,27 +586,37 @@ class Campaign:
 
         arms: list[ArmRun] = []
         live = [plan for plan in plans if plan[5] is None]
+
+        def collect(plan, futures) -> None:
+            spec, _run_spec, label, _base_seed, key, cached = plan
+            self._emit("on_engine_start",
+                       EngineStarted(engine=label, cases=len(cases)))
+            if cached is not None:
+                reports = self._replay_shared_arm(label, cases, cached,
+                                                  key, hit=True)
+            else:
+                reports = futures[id(plan)].result()
+                self._replay_shared_arm(label, cases, reports, key,
+                                        hit=False)
+                if key is not None:
+                    self.cache.put(key, reports)
+            self._emit_engine_done(label, reports)
+            arms.append(ArmRun(spec=spec, label=label, reports=reports))
+
+        if not live:
+            # Fully cache-warm sweep: every arm replays from disk, so
+            # forking a worker process would do literally nothing.
+            for plan in plans:
+                collect(plan, {})
+            return arms
         with ProcessPoolExecutor(
-                max_workers=min(self.workers, max(1, len(live)))) as pool:
+                max_workers=min(self.workers, len(live))) as pool:
             futures = {id(plan): pool.submit(
                 _execute_shared_arm, plan[1].to_string(), plan[2],
                 self.model, self.temperature, plan[3], cases)
                 for plan in live}
             for plan in plans:
-                spec, _run_spec, label, _base_seed, key, cached = plan
-                self._emit("on_engine_start",
-                           EngineStarted(engine=label, cases=len(cases)))
-                if cached is not None:
-                    reports = self._replay_shared_arm(label, cases, cached,
-                                                      key, hit=True)
-                else:
-                    reports = futures[id(plan)].result()
-                    self._replay_shared_arm(label, cases, reports, key,
-                                            hit=False)
-                    if key is not None:
-                        self.cache.put(key, reports)
-                self._emit_engine_done(label, reports)
-                arms.append(ArmRun(spec=spec, label=label, reports=reports))
+                collect(plan, futures)
         return arms
 
     def _emit_round(self, label: str, round_index: int, rounds: int,

@@ -48,10 +48,32 @@ the derived seed ``s * 104_729 + repair_index * 977 + i`` — a pure function
 of the ensemble's own (campaign-derived) seed, so ensemble arms shard
 byte-identically across ``serial|thread|process`` executors and nest
 without correlating their members.  Virtual-clock seconds, tokens, and
-calls accumulate across every consulted member (members run sequentially
-on the virtual clock), and the per-member summaries travel inside the
-:class:`~repro.engine.types.RepairReport` to surface as ``on_member_done``
-telemetry.
+calls accumulate across every consulted member, and the per-member
+summaries travel inside the :class:`~repro.engine.types.RepairReport` to
+surface as ``on_member_done`` telemetry.
+
+Concurrent consultation (``member_workers=``): members whose consultations
+are independent — the run-everyone portfolio strategies (``best_score``,
+``vote``) and ``switch``'s escalation chain — execute in *waves* of up to
+``member_workers`` members over a thread or process pool
+(``member_executor=thread|process``; ``serial`` runs the same waves
+in-process).  Because member seeds are pure functions of
+``(ensemble seed, repair_index, member_index)``, pooled consultation is
+byte-identical to running the same waves serially at any pool size; the
+backend is pure wall-clock.  ``member_workers`` itself, however, is
+*semantic*: a wave charges ``max(member seconds)`` to the virtual clock
+instead of the sequential sum (see DESIGN.md, "Concurrent members"), which
+is why changing it — like any engine-behaviour change — rides a
+:data:`~repro.engine.cache.CACHE_EPOCH` bump.  First-pass chains (plain
+``first_pass``, ``cascade``, the routed ``switch`` member whose verdict
+gates escalation) are order-dependent by definition and always consult
+sequentially.
+
+Portfolios additionally support ``weights=`` (per-member vote weights for
+``strategy=vote``) and ``budget_tokens=`` / ``budget_seconds=``: after
+every consulted wave the accumulated token / virtual-second spend is
+checked against the budget, and remaining members are skipped once it is
+exhausted (the consultation that crosses the line still counts).
 
 Members can be cached individually (``member_cache_dir=``): each consulted
 member stores its report through :class:`~repro.engine.cache.ResultCache`
@@ -62,6 +84,9 @@ bytes are identical to a live run's, so caching never changes results.
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..llm.profiles import PROFILES
@@ -79,6 +104,11 @@ ENSEMBLE_KINDS = ("portfolio", "cascade", "switch")
 
 #: Portfolio winner-selection strategies.
 STRATEGIES = ("first_pass", "best_score", "vote")
+
+#: Pool backends for concurrent member consultation.  The backend never
+#: changes bytes — ``serial`` exists so the identity tests (and debuggers)
+#: can run the exact wave semantics in-process.
+MEMBER_EXECUTORS = ("serial", "thread", "process")
 
 #: Member-seed derivation constants (see the module docstring).  The
 #: stride decorrelates neighbouring ensemble seeds; the repair stride
@@ -130,10 +160,11 @@ def parse_member(text: str) -> Member:
 
 def parse_members(text: str) -> tuple[Member, ...]:
     """Parse a full ``members`` value (``+``-separated member entries)."""
-    members = tuple(parse_member(chunk) for chunk in text.split("+"))
-    if not members:
-        raise SpecError(f"no members in {text!r}")
-    return members
+    # ``"".split("+")`` yields ``[""]``, so an empty value must be caught
+    # here — inside the loop it would surface as a per-member error.
+    if not text.strip():
+        raise SpecError("no ensemble members given (members= is empty)")
+    return tuple(parse_member(chunk) for chunk in text.split("+"))
 
 
 def parse_routes(text: str, member_count: int) -> dict[UbKind, int]:
@@ -153,6 +184,14 @@ def parse_routes(text: str, member_count: int) -> dict[UbKind, int]:
         if not sep or not index_text.strip().isdigit():
             raise EngineConfigError(
                 f"malformed route {chunk!r} (expected category:member_index)")
+        if category in routes:
+            # A silent overwrite would run a different routing table than
+            # the arm label claims — two entries for one category is a
+            # config mistake, never an intent.
+            raise EngineConfigError(
+                f"duplicate route for category {category.value!r} "
+                f"(route {chunk!r} would overwrite member "
+                f"{routes[category]})")
         index = int(index_text)
         if index >= member_count:
             raise EngineConfigError(
@@ -160,6 +199,28 @@ def parse_routes(text: str, member_count: int) -> dict[UbKind, int]:
                 f"({member_count} members)")
         routes[category] = index
     return routes
+
+
+def parse_weights(text, member_count: int) -> tuple[float, ...] | None:
+    """Parse a ``weights`` value: ``,``-separated positive numbers, one per
+    member, aligned with the ``members`` declaration order.  Accepts the
+    already-coerced spec value, so a bare number (single member) works."""
+    if text is None or not str(text).strip():
+        return None
+    chunks = [chunk.strip() for chunk in str(text).split(",")]
+    try:
+        weights = tuple(float(chunk) for chunk in chunks)
+    except ValueError:
+        raise EngineConfigError(
+            f"malformed weights {text!r} "
+            "(expected comma-separated numbers)") from None
+    if len(weights) != member_count:
+        raise EngineConfigError(
+            f"weights count {len(weights)} does not match the member "
+            f"count ({member_count})")
+    if any(weight <= 0 for weight in weights):
+        raise EngineConfigError(f"weights must be positive, got {text!r}")
+    return weights
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +260,69 @@ def _member_cache(root: str) -> ResultCache:
     return cache
 
 
+#: Shared member process pools, one per ``member_workers`` size.  Ensembles
+#: are rebuilt per case under campaign per-case isolation; a per-instance
+#: pool would fork workers for every case, so pooled consultation shares
+#: one long-lived executor per size for the life of the process (workers
+#: rebuild member engines from spec strings, exactly like campaign
+#: process-pool workers).
+_MEMBER_POOLS: dict[int, ProcessPoolExecutor] = {}
+_MEMBER_POOLS_LOCK = threading.Lock()
+
+
+def _reset_member_pools_after_fork() -> None:
+    # A forked child (e.g. a campaign process-pool worker) inherits the
+    # dict but not the executors' manager threads — submitting to an
+    # inherited pool would hang forever — and could inherit the lock in a
+    # locked state.  Start every child empty with a fresh lock; it builds
+    # its own pools on first use.
+    global _MEMBER_POOLS_LOCK
+    _MEMBER_POOLS_LOCK = threading.Lock()
+    _MEMBER_POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_member_pools_after_fork)
+
+
+def _member_process_pool(workers: int) -> ProcessPoolExecutor:
+    # Locked: two campaign threads racing the first consultation would
+    # otherwise both construct an executor and leak the setdefault loser.
+    with _MEMBER_POOLS_LOCK:
+        pool = _MEMBER_POOLS.get(workers)
+        if pool is None:
+            pool = _MEMBER_POOLS.setdefault(
+                workers, ProcessPoolExecutor(max_workers=workers))
+    return pool
+
+
+def _process_pool_allowed() -> bool:
+    """Member process pools are a main-process facility.
+
+    A campaign process-pool worker that spawned its own member pool would
+    hang at exit: its grandchildren are long-lived (never sent a shutdown
+    sentinel) and ``multiprocessing``'s exit function joins non-daemonic
+    children.  Inside any multiprocessing child the process backend
+    degrades to the thread pool — byte-identical results, wall-clock only
+    (the campaign's own pool already owns the machine's cores there).
+    """
+    import multiprocessing
+    return multiprocessing.parent_process() is None
+
+
+def _execute_member_task(spec: str, model: str, temperature: float,
+                         seed: int, source: str, difficulty: int,
+                         label: str):
+    """Build and run one member engine — picklable for the process pool,
+    and the single execution path for inline/thread consultation too."""
+    engine = create_engine(spec, model=model, seed=seed,
+                           temperature=temperature)
+    return run_request(
+        engine, RepairRequest(name="member", source=source,
+                              difficulty=difficulty),
+        engine_label=label)
+
+
 @dataclass
 class EnsembleConfig:
     model: str = "gpt-4"
@@ -220,6 +344,27 @@ class EnsembleConfig:
     detector_seconds: float = 0.8
     #: Optional per-member ResultCache root shared across ensembles.
     member_cache_dir: str = ""
+    #: Concurrent-consultation width: independent consultations (run-
+    #: everyone portfolio strategies, switch escalation) execute in waves
+    #: of up to this many members, each wave charging max(member seconds)
+    #: to the virtual clock instead of the sum.  A *semantic* parameter —
+    #: part of the arm's identity, unlike the executor below.
+    member_workers: int = 1
+    #: Pool backend for waves wider than one member: serial | thread |
+    #: process.  Pure wall-clock — every backend is byte-identical.
+    member_executor: str = "thread"
+    #: Portfolio ``strategy=vote`` only: per-member vote weights
+    #: (``,``-separated positive numbers in member declaration order).
+    #: ``None`` default (not ``""``) so a single-member ``weights=2``,
+    #: which spec coercion types as a number, passes the override type
+    #: check and reaches :func:`parse_weights`.
+    weights: str | int | float | None = None
+    #: Portfolio only: stop consulting members once the accumulated token
+    #: spend reaches this budget (0 = unlimited).
+    budget_tokens: int = 0
+    #: Portfolio only: stop consulting members once the accumulated
+    #: virtual-clock seconds reach this budget (0 = unlimited).
+    budget_seconds: float = 0.0
 
 
 class EnsembleEngine:
@@ -256,6 +401,29 @@ class EnsembleEngine:
             raise EngineConfigError(
                 f"fallback index {self.config.fallback} out of range for "
                 f"{len(self.members)} members")
+        if self.config.member_workers < 1:
+            raise EngineConfigError(
+                f"member_workers must be >= 1, got "
+                f"{self.config.member_workers}")
+        if self.config.member_executor not in MEMBER_EXECUTORS:
+            raise EngineConfigError(
+                f"member_executor must be one of "
+                f"{', '.join(MEMBER_EXECUTORS)}, got "
+                f"{self.config.member_executor!r}")
+        self.weights = parse_weights(self.config.weights, len(self.members))
+        if self.weights is not None and (
+                kind != "portfolio" or self.config.strategy != "vote"):
+            raise EngineConfigError(
+                "weights= only applies to portfolio?strategy=vote")
+        if self.config.budget_tokens < 0 or self.config.budget_seconds < 0:
+            raise EngineConfigError("budgets must be >= 0 (0 = unlimited)")
+        if (self.config.budget_tokens or self.config.budget_seconds) \
+                and kind != "portfolio":
+            # cascade/switch stop on their own pass/escalation logic;
+            # accepting a budget would silently truncate that chain.
+            raise EngineConfigError(
+                f"budget_tokens=/budget_seconds= only apply to portfolio, "
+                f"not {kind}")
         self._cache = (_member_cache(self.config.member_cache_dir)
                        if self.config.member_cache_dir else None)
         self._repair_index = 0
@@ -265,9 +433,13 @@ class EnsembleEngine:
     def _member_model(self, member: Member) -> str:
         return member.model or self.config.model
 
-    def _run_member(self, member: Member, index: int, source: str,
-                    difficulty: int, repair_index: int):
-        """Run (or replay) one member, returning its RepairReport."""
+    def _member_task(self, index: int, source: str, difficulty: int,
+                     repair_index: int) -> tuple[str | None, tuple]:
+        """The cache key (``None`` when uncached) and picklable
+        :func:`_execute_member_task` args for one member — the single
+        derivation both the inline and the pooled path consult, so they
+        cannot drift cache-incompatible."""
+        member = self.members[index]
         model = self._member_model(member)
         seed = member_seed(self.config.seed, repair_index, index)
         key = None
@@ -276,18 +448,101 @@ class EnsembleEngine:
                            self.config.temperature, seed,
                            fingerprint_case("member", source, None,
                                             difficulty, None))
+        return key, (member.spec.to_string(), model,
+                     self.config.temperature, seed, source, difficulty,
+                     arm_label(member.spec, model))
+
+    def _run_member(self, member: Member, index: int, source: str,
+                    difficulty: int, repair_index: int):
+        """Run (or replay) one member inline, returning its RepairReport."""
+        key, task = self._member_task(index, source, difficulty,
+                                      repair_index)
+        if key is not None:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached[0]
-        engine = create_engine(member.spec, model=model, seed=seed,
-                               temperature=self.config.temperature)
-        report = run_request(
-            engine, RepairRequest(name="member", source=source,
-                                  difficulty=difficulty),
-            engine_label=arm_label(member.spec, model))
+        report = _execute_member_task(*task)
         if key is not None:
             self._cache.put(key, [report])
         return report
+
+    def _consult(self, wave: list[int], source: str, difficulty: int,
+                 repair_index: int) -> list:
+        """Run (or replay) one wave's members, reports in wave order.
+
+        Pooling never changes bytes: seeds are pure functions of the
+        ensemble inputs, member executions share no state, and the member
+        cache is read and written parent-side in declaration order.
+        """
+        if (len(wave) == 1 or self.config.member_workers == 1
+                or self.config.member_executor == "serial"):
+            return [self._run_member(self.members[index], index, source,
+                                     difficulty, repair_index)
+                    for index in wave]
+        results: dict[int, object] = {}
+        pending = []  # (wave position, cache key, picklable task args)
+        for position, index in enumerate(wave):
+            key, task = self._member_task(index, source, difficulty,
+                                          repair_index)
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    results[position] = cached[0]
+                    continue
+            pending.append((position, key, task))
+        if pending:
+            if self.config.member_executor == "process" \
+                    and _process_pool_allowed():
+                pool = _member_process_pool(self.config.member_workers)
+                futures = [pool.submit(_execute_member_task, *task)
+                           for _position, _key, task in pending]
+                fresh = [future.result() for future in futures]
+            else:
+                # Deliberately per-wave, not shared like the process pools:
+                # a nested ensemble's wave submits from inside an outer
+                # wave's worker thread, and blocking on an inner future in
+                # a *shared* bounded pool would starve it into deadlock.
+                # Thread spawn cost is noise next to a member execution.
+                workers = min(self.config.member_workers, len(pending))
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(_execute_member_task, *task)
+                               for _position, _key, task in pending]
+                    fresh = [future.result() for future in futures]
+            for (position, key, _task), report in zip(pending, fresh):
+                if key is not None:
+                    self._cache.put(key, [report])
+                results[position] = report
+        return [results[position] for position in range(len(wave))]
+
+    def _plan_waves(self, order: list[int],
+                    run_all: bool) -> list[list[int]]:
+        """Partition the consultation order into concurrently-run waves.
+
+        Only independent consultations widen: run-everyone portfolio
+        strategies chunk the whole order; switch escalation chunks the
+        members behind the routed one (whose verdict gates escalation, so
+        it always runs alone first).  First-pass chains and cascades are
+        order-dependent by definition and stay sequential at any
+        ``member_workers``.
+        """
+        width = self.config.member_workers
+        if width > 1 and run_all:
+            return [order[start:start + width]
+                    for start in range(0, len(order), width)]
+        if width > 1 and self.kind == "switch" and self.config.escalate \
+                and len(order) > 1:
+            rest = order[1:]
+            return [order[:1]] + [rest[start:start + width]
+                                  for start in range(0, len(rest), width)]
+        return [[index] for index in order]
+
+    def _budget_exhausted(self, seconds: float, reports: list) -> bool:
+        config = self.config
+        if config.budget_tokens and \
+                sum(r.tokens for r in reports) >= config.budget_tokens:
+            return True
+        return bool(config.budget_seconds
+                    and seconds >= config.budget_seconds)
 
     # -- winner selection --------------------------------------------------
 
@@ -306,7 +561,7 @@ class EnsembleEngine:
             order += [i for i in range(len(self.members)) if i != start]
         return order, self.config.detector_seconds
 
-    def _select(self, reports: list) -> int | None:
+    def _select(self, reports: list, consulted: list[int]) -> int | None:
         """Index (into ``reports``) of the winning member, or ``None``."""
         passing = [i for i, report in enumerate(reports) if report.passed]
         if not passing:
@@ -320,9 +575,16 @@ class EnsembleEngine:
             votes: dict[str, list[int]] = {}
             for i in passing:
                 votes.setdefault(reports[i].repaired_source, []).append(i)
-            winner = max(votes.values(),
-                         key=lambda idxs: (len(idxs), -idxs[0]))
-            return winner[0]
+
+            def tally(positions: list[int]) -> tuple[float, int]:
+                # Unweighted votes count 1.0 each, so weights=1,1,... is
+                # byte-identical to no weights at all.
+                weight = sum(self.weights[consulted[pos]]
+                             for pos in positions) \
+                    if self.weights is not None else float(len(positions))
+                return (weight, -positions[0])
+
+            return max(votes.values(), key=tally)[0]
         return passing[0]  # first_pass (and every cascade/switch)
 
     # -- the engine protocol -----------------------------------------------
@@ -335,26 +597,40 @@ class EnsembleEngine:
         order, overhead_seconds = self._member_order(source)
         run_all = self.kind == "portfolio" \
             and self.config.strategy in ("best_score", "vote")
+        waves = self._plan_waves(order, run_all)
 
         reports = []
         consulted: list[int] = []
-        for member_index in order:
-            member = self.members[member_index]
-            report = self._run_member(member, member_index, source,
-                                      difficulty, repair_index)
-            reports.append(report)
-            consulted.append(member_index)
-            if report.passed and not run_all:
+        wave_of: list[int] = []
+        seconds = overhead_seconds
+        budget_hit = False
+        for wave_number, wave in enumerate(waves):
+            wave_reports = self._consult(wave, source, difficulty,
+                                         repair_index)
+            # A wave runs concurrently, so it charges its slowest member —
+            # singleton waves (member_workers=1) degrade to the plain sum.
+            seconds += max(r.seconds for r in wave_reports)
+            for member_index, report in zip(wave, wave_reports):
+                reports.append(report)
+                consulted.append(member_index)
+                wave_of.append(wave_number)
+            if not run_all and any(r.passed for r in wave_reports):
+                break
+            if wave_number + 1 < len(waves) \
+                    and self._budget_exhausted(seconds, reports):
+                budget_hit = True
                 break
 
-        winner = self._select(reports)
+        winner = self._select(reports, consulted)
         summaries = []
-        for member_index, report in zip(consulted, reports):
+        for position, (member_index, report) in enumerate(zip(consulted,
+                                                              reports)):
             member = self.members[member_index]
             summaries.append({
                 "member": member.to_string(),
                 "model": self._member_model(member),
                 "index": member_index,
+                "wave": wave_of[position],
                 "passed": report.passed,
                 "seconds": report.seconds,
                 "tokens": report.tokens,
@@ -364,12 +640,14 @@ class EnsembleEngine:
         best = reports[winner] if winner is not None else None
         failure = None
         if best is None:
+            detail = "; budget exhausted" if budget_hit else ""
             failure = (f"no member passed "
-                       f"({len(reports)}/{len(self.members)} consulted)")
+                       f"({len(reports)}/{len(self.members)} consulted"
+                       f"{detail})")
         return RepairOutcome(
             passed=best is not None,
             repaired_source=best.repaired_source if best else None,
-            seconds=overhead_seconds + sum(r.seconds for r in reports),
+            seconds=seconds,
             tokens=sum(r.tokens for r in reports),
             llm_calls=sum(r.llm_calls for r in reports),
             solutions_tried=sum(r.solutions_tried for r in reports),

@@ -12,6 +12,12 @@ Keys are config-field names or their short aliases (``kb``, ``feedback``,
 rollback-policy names).  ``model``/``seed``/``temperature`` are reserved
 keys routed to the engine factory itself, so a single spec string fully
 pins an experimental arm.  Parsing and formatting round-trip exactly.
+
+Structured values stay plain strings here and are interpreted by the
+owning config — the ensemble keys (``members``, ``routes``, ``weights``)
+are the worked example: comma/plus-separated lists that
+:mod:`~repro.engine.ensemble` parses and validates after coercion.  The
+full grammar, escapes included, lives in ``docs/quickstart.md``.
 """
 
 from __future__ import annotations

@@ -84,6 +84,10 @@ class MemberFinished:
     member_index: int
     passed: bool
     seconds: float
+    #: Consultation wave: members sharing a wave number ran concurrently
+    #: (``member_workers > 1``); sequential consultation numbers waves
+    #: 0, 1, 2, … one member each.
+    wave: int = 0
 
 
 @dataclass(frozen=True)

@@ -15,27 +15,55 @@ The public entry point is :func:`detect_ub`:
 False
 >>> report.errors[0].kind.value
 'dangling_pointer'
+
+:func:`detect_ub_batch` verifies many candidate sources in one call:
+parsing rides the :func:`~repro.lang.parser.parse_program` memo, and
+textually identical sources are interpreted **once** and share one report.
+Candidate repair solutions converge on identical programs constantly
+(shared leading rules, rollback revisits, members proposing the same fix),
+so batching the verification step cuts real interpreter executions without
+changing a single verdict.  :class:`BatchVerifier` extends that dedup
+across successive calls within one repair, which is how RustBrain's S2
+stage and the exec-metric scorer amortize their detector runs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..lang import ast_nodes as ast
 from ..lang.parser import ParseError, parse_program
 from .errors import MiriError, MiriReport, UbKind, PAPER_CATEGORIES
-from .interp import DEFAULT_FUEL, Interpreter
+from .interp import DEFAULT_FUEL, Interpreter, run_program
 
 
-def detect_ub(source: str | ast.Program, *, collect: bool = False,
-              max_errors: int = 8, fuel: int = DEFAULT_FUEL,
-              debug: bool = False) -> MiriReport:
-    """Run the detector over ``source`` (text or already-parsed program).
+@dataclass
+class DetectorStats:
+    """Process-wide detector accounting (see :data:`DETECTOR_STATS`).
 
-    ``collect=True`` enables error-collection mode: instead of stopping at the
-    first UB (Miri's behaviour, and the default), the interpreter records the
-    error, skips the offending statement, and keeps going — this is what gives
-    RustBrain's rollback mechanism a meaningful per-iteration error *count*
-    (the ``n_i`` sequences of §III-B2).
+    ``requests`` counts verification *questions* (one per source handed to
+    :func:`detect_ub` or :func:`detect_ub_batch`); ``runs`` counts actual
+    interpreter executions.  Batching makes ``runs < requests``; the gap is
+    the amortization ``BENCH_ensemble.json`` gates on.  Plain counters
+    under the GIL — exact in the serial benchmark harnesses that read
+    them, best-effort under concurrent member consultation.
     """
+
+    requests: int = 0
+    runs: int = 0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.runs = 0
+
+
+#: The process-wide counter instance every detector call updates.
+DETECTOR_STATS = DetectorStats()
+
+
+def _detect(source: str | ast.Program, collect: bool, max_errors: int,
+            fuel: int, debug: bool) -> MiriReport:
+    """One detector execution (parse if needed, then interpret)."""
     if isinstance(source, str):
         try:
             program = parse_program(source)
@@ -51,9 +79,107 @@ def detect_ub(source: str | ast.Program, *, collect: bool = False,
             return report
     else:
         program = source
-    interp = Interpreter(program, collect=collect, max_errors=max_errors,
-                         fuel=fuel, debug=debug)
-    return interp.run()
+    DETECTOR_STATS.runs += 1
+    return run_program(program, collect=collect, max_errors=max_errors,
+                       fuel=fuel, debug=debug)
+
+
+def detect_ub(source: str | ast.Program, *, collect: bool = False,
+              max_errors: int = 8, fuel: int = DEFAULT_FUEL,
+              debug: bool = False) -> MiriReport:
+    """Run the detector over ``source`` (text or already-parsed program).
+
+    ``collect=True`` enables error-collection mode: instead of stopping at the
+    first UB (Miri's behaviour, and the default), the interpreter records the
+    error, skips the offending statement, and keeps going — this is what gives
+    RustBrain's rollback mechanism a meaningful per-iteration error *count*
+    (the ``n_i`` sequences of §III-B2).
+    """
+    DETECTOR_STATS.requests += 1
+    return _detect(source, collect, max_errors, fuel, debug)
+
+
+def detect_ub_batch(sources, *, collect: bool = False, max_errors: int = 8,
+                    fuel: int = DEFAULT_FUEL,
+                    debug: bool = False) -> list[MiriReport]:
+    """Run the detector over many candidate sources in one call.
+
+    Returns one :class:`~repro.miri.errors.MiriReport` per source, in input
+    order.  Textually identical string sources are interpreted once and
+    **share one report object** — verdicts are byte-identical to per-source
+    :func:`detect_ub` calls, so callers must treat returned reports as
+    read-only (every in-tree consumer does).  Parsed ``ast.Program`` inputs
+    are never deduplicated (node identity is part of their meaning).
+    """
+    memo: dict[str, MiriReport] = {}
+    reports: list[MiriReport] = []
+    for source in sources:
+        DETECTOR_STATS.requests += 1
+        if isinstance(source, str):
+            report = memo.get(source)
+            if report is None:
+                report = _detect(source, collect, max_errors, fuel, debug)
+                memo[source] = report
+            reports.append(report)
+        else:
+            reports.append(_detect(source, collect, max_errors, fuel, debug))
+    return reports
+
+
+class BatchVerifier:
+    """Read-through verification memo over :func:`detect_ub_batch`.
+
+    One verifier spans one repair: S2 re-verifies a candidate program after
+    every executed step, and candidates frequently coincide across the
+    repair's solutions and rounds (solutions sharing leading rules produce
+    identical intermediate programs; later rounds revisit earlier rewrites).
+    The memo answers repeats without re-interpreting — verdicts stay
+    byte-identical (reports are never mutated downstream) and the virtual
+    clock still charges every verification (it models a sequential real
+    run), so only wall-clock work drops.  ``requests``/``runs`` mirror
+    :class:`DetectorStats` at per-repair scope.
+    """
+
+    def __init__(self, *, collect: bool = True, max_errors: int = 8,
+                 fuel: int = DEFAULT_FUEL):
+        self.collect = collect
+        self.max_errors = max_errors
+        self.fuel = fuel
+        self.requests = 0
+        self.runs = 0
+        self._memo: dict[str, MiriReport] = {}
+
+    def verify(self, source: str) -> MiriReport:
+        """The (possibly memoized) detector report for one candidate."""
+        self.requests += 1
+        report = self._memo.get(source)
+        if report is None:
+            report = detect_ub_batch([source], collect=self.collect,
+                                     max_errors=self.max_errors,
+                                     fuel=self.fuel)[0]
+            self._memo[source] = report
+            self.runs += 1
+        else:
+            # Memo answers are still verification requests; only ``runs``
+            # shrinks under batching.
+            DETECTOR_STATS.requests += 1
+        return report
+
+    def verify_batch(self, sources: list[str]) -> list[MiriReport]:
+        """Reports for many candidates; unseen distinct sources run in one
+        :func:`detect_ub_batch` call."""
+        self.requests += len(sources)
+        missing = [source for source in dict.fromkeys(sources)
+                   if source not in self._memo]
+        if missing:
+            for source, report in zip(
+                    missing, detect_ub_batch(missing, collect=self.collect,
+                                             max_errors=self.max_errors,
+                                             fuel=self.fuel)):
+                self._memo[source] = report
+            self.runs += len(missing)
+        DETECTOR_STATS.requests += len(sources) - len(missing)
+        return [self._memo[source] for source in sources]
 
 
 def error_count(source: str | ast.Program, **kwargs) -> int:
@@ -63,12 +189,17 @@ def error_count(source: str | ast.Program, **kwargs) -> int:
 
 
 __all__ = [
+    "BatchVerifier",
     "DEFAULT_FUEL",
+    "DETECTOR_STATS",
+    "DetectorStats",
     "Interpreter",
     "MiriError",
     "MiriReport",
     "PAPER_CATEGORIES",
     "UbKind",
     "detect_ub",
+    "detect_ub_batch",
     "error_count",
+    "run_program",
 ]

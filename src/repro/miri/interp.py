@@ -178,6 +178,21 @@ class MutexRecord:
     locked: bool = False
 
 
+def run_program(program: ast.Program, *, fuel: int = DEFAULT_FUEL,
+                collect: bool = False, max_errors: int = 8,
+                debug: bool = False) -> MiriReport:
+    """Construct-and-run one :class:`Interpreter` over ``program``.
+
+    The single execution point shared by :func:`repro.miri.detect_ub` and
+    :func:`repro.miri.detect_ub_batch` — detector-invocation accounting
+    hangs off calls to this function, so batched verification can prove it
+    executes strictly fewer interpreters than one-call-per-candidate.
+    """
+    interp = Interpreter(program, fuel=fuel, collect=collect,
+                         max_errors=max_errors, debug=debug)
+    return interp.run()
+
+
 class Interpreter:
     """One program execution. Use :func:`repro.miri.detect_ub` normally."""
 

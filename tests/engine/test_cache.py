@@ -90,6 +90,45 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.get(case_key("llm_only", "gpt-4", 0.5, 0, "fp")) is None
 
+    @staticmethod
+    def _orphan(cache, name="tmpdead.tmp"):
+        """Plant a leftover atomic-write temp file (a worker that died
+        between mkstemp and os.replace)."""
+        shard = cache.root / "ab"
+        shard.mkdir(exist_ok=True)
+        orphan = shard / name
+        orphan.write_text("{torn", encoding="utf-8")
+        return orphan
+
+    def test_len_ignores_orphaned_tmp_files(self, cache):
+        cache.put(case_key("llm_only", "gpt-4", 0.5, 7, "fp"), [_report()])
+        self._orphan(cache)
+        assert len(cache) == 1
+
+    def test_clear_sweeps_orphaned_tmp_files(self, cache):
+        key = case_key("llm_only", "gpt-4", 0.5, 7, "fp")
+        cache.put(key, [_report()])
+        orphan = self._orphan(cache)
+        cache.clear()
+        assert not orphan.exists()
+        assert len(cache) == 0
+
+    def test_construction_sweeps_orphaned_tmp_files(self, cache):
+        import os
+        key = case_key("llm_only", "gpt-4", 0.5, 7, "fp")
+        cache.put(key, [_report()])
+        orphans = [self._orphan(cache, f"tmp{i}.tmp") for i in range(3)]
+        stale = 3600 * 24
+        for orphan in orphans:
+            os.utime(orphan, (orphan.stat().st_mtime - stale,) * 2)
+        fresh = self._orphan(cache, "tmplive.tmp")
+        reopened = ResultCache(cache.root)
+        assert not any(orphan.exists() for orphan in orphans)
+        # A young tmp may be a concurrent writer mid-put: spared.
+        assert fresh.exists()
+        # Committed entries survive the sweep untouched.
+        assert reopened.get(key) == [_report()]
+
 
 class TestKeying:
     """Every component of the key must invalidate independently."""

@@ -96,6 +96,34 @@ class TestDeterminism:
                        sort_keys=True)
         assert serial.telemetry.to_dict() == pooled.telemetry.to_dict()
 
+    def test_warm_shared_pooled_campaign_spawns_no_pool(self, dataset,
+                                                        tmp_path,
+                                                        monkeypatch):
+        # A fully cache-warm pooled shared campaign replays every arm from
+        # disk; forking a worker process for nothing is a bug.
+        from repro.engine import ResultCache
+        from repro.engine import campaign as campaign_module
+        small = Dataset(tuple(list(dataset)[:4]))
+        arms = ["rustbrain?seed=3", "rustbrain?seed=11"]
+        cache = ResultCache(tmp_path / "cache")
+        cold = Campaign(arms, small, isolation="shared", workers=2,
+                        executor="process", cache=cache).run()
+
+        class BoomPool:
+            def __init__(self, *_args, **_kwargs):
+                raise AssertionError(
+                    "ProcessPoolExecutor spawned for a warm campaign")
+
+        monkeypatch.setattr(campaign_module, "ProcessPoolExecutor", BoomPool)
+        warm = Campaign(arms, small, isolation="shared", workers=2,
+                        executor="process", cache=cache).run()
+        assert json.dumps([arm.to_dict() for arm in warm.arms],
+                          sort_keys=True) == \
+            json.dumps([arm.to_dict() for arm in cold.arms],
+                       sort_keys=True)
+        hits, misses = warm.telemetry.cache_counts()
+        assert hits == len(small) * len(arms) and misses == 0
+
     def test_different_seed_differs(self, dataset, serial_run):
         other = Campaign(ENGINES, dataset, seed=SEED + 1, workers=1,
                          shard_size=4).run()
@@ -167,7 +195,7 @@ class TestSerialization:
         path = tmp_path / "campaign.json"
         serial_run.save(path)
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro.campaign/3"
+        assert payload["schema"] == "repro.campaign/4"
         assert payload["config"]["engines"] == ENGINES
         assert len(payload["arms"]) == len(ENGINES)
         for arm, spec in zip(payload["arms"], ENGINES):

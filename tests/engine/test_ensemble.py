@@ -8,7 +8,7 @@ from repro.corpus.dataset import Dataset, load_dataset
 from repro.engine import (Campaign, CampaignObserver, EngineConfigError,
                           MemberFinished, ResultCache, SpecError,
                           create_engine, member_seed, parse_member,
-                          parse_members, parse_routes)
+                          parse_members, parse_routes, parse_weights)
 from repro.engine.ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS,
                                    EnsembleEngine)
 from repro.llm.profiles import PROFILES
@@ -76,6 +76,13 @@ class TestMemberGrammar:
         with pytest.raises(SpecError):
             parse_members("rustbrain++llm_only")
 
+    def test_empty_member_list_rejected(self):
+        # "".split("+") yields [""], so the no-members case needs its own
+        # guard — and its own message, not a confusing per-member error.
+        for text in ("", "   "):
+            with pytest.raises(SpecError, match="no ensemble members"):
+                parse_members(text)
+
     def test_routes_parse_and_validate(self):
         routes = parse_routes("stack_borrow:1,datarace:0", 2)
         assert routes == {UbKind.STACK_BORROW: 1, UbKind.DATA_RACE: 0}
@@ -85,6 +92,30 @@ class TestMemberGrammar:
             parse_routes("alloc:7", 2)
         with pytest.raises(EngineConfigError, match="malformed route"):
             parse_routes("alloc", 2)
+
+    def test_duplicate_route_rejected(self):
+        # A later duplicate silently overwriting an earlier entry would run
+        # a different routing table than the arm label claims.
+        with pytest.raises(EngineConfigError, match="duplicate route"):
+            parse_routes("alloc:0,datarace:1,alloc:1", 2)
+        with pytest.raises(EngineConfigError, match="duplicate route"):
+            create_engine("switch?routes=alloc:0,alloc:1")
+
+    def test_weights_parse_and_validate(self):
+        assert parse_weights("1,2.5,0.5", 3) == (1.0, 2.5, 0.5)
+        assert parse_weights("", 3) is None
+        assert parse_weights(None, 3) is None
+        # Spec coercion types a bare number before the config sees it.
+        assert parse_weights(2, 1) == (2.0,)
+        assert parse_weights(0.5, 1) == (0.5,)
+        with pytest.raises(EngineConfigError, match="malformed weights"):
+            parse_weights("1,heavy", 2)
+        with pytest.raises(EngineConfigError, match="does not match"):
+            parse_weights("1,2", 3)
+        with pytest.raises(EngineConfigError, match="must be positive"):
+            parse_weights("1,-2", 2)
+        with pytest.raises(EngineConfigError, match="must be positive"):
+            parse_weights("0,1", 2)
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +166,34 @@ class TestConstruction:
     def test_unknown_option_rejected(self):
         with pytest.raises(EngineConfigError):
             create_engine("portfolio?quantum=3")
+
+    def test_member_workers_validated(self):
+        with pytest.raises(EngineConfigError, match="member_workers"):
+            create_engine("portfolio?member_workers=0")
+        with pytest.raises(EngineConfigError, match="member_executor"):
+            create_engine("portfolio?member_workers=2&member_executor=gpu")
+        assert create_engine("portfolio?member_workers=4") is not None
+
+    def test_weights_only_for_vote_portfolios(self):
+        for spec in ("portfolio?strategy=best_score&weights=1,1,1",
+                     "portfolio?weights=1,1,1"):  # default first_pass
+            with pytest.raises(EngineConfigError, match="weights"):
+                create_engine(spec)
+        assert create_engine("portfolio?strategy=vote&weights=1,2,3") \
+            is not None
+        # A one-member portfolio's weights value is a bare number.
+        assert create_engine("portfolio?members=gpt-4&strategy=vote"
+                             "&weights=2") is not None
+
+    def test_budgets_only_for_portfolios(self):
+        for spec in ("cascade?budget_tokens=100",
+                     "switch?budget_seconds=10"):
+            with pytest.raises(EngineConfigError, match="only apply"):
+                create_engine(spec)
+        with pytest.raises(EngineConfigError, match=">= 0"):
+            create_engine("portfolio?budget_tokens=-1")
+        assert create_engine("portfolio?budget_tokens=100"
+                             "&budget_seconds=30") is not None
 
     def test_campaign_fails_fast_on_bad_member(self, small):
         from repro.engine import UnknownEngineError
@@ -208,6 +267,146 @@ class TestSemantics:
 
 
 # ---------------------------------------------------------------------------
+# Concurrent consultation (member_workers), weights, budgets
+
+
+VOTE_MW = "portfolio?strategy=vote&member_workers=3"
+
+
+class TestConcurrentMembers:
+    def test_member_executors_byte_identical(self, dataset):
+        # The pool backend is pure wall-clock: serial, thread, and process
+        # consultation of the same waves returns identical outcomes.
+        for case in list(dataset)[:3]:
+            outcomes = [
+                create_engine(f"{VOTE_MW}&member_executor={backend}",
+                              seed=SEED).repair(case.source, case.difficulty)
+                for backend in ("serial", "thread", "process")
+            ]
+            assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_wave_charges_max_not_sum(self, dataset):
+        case = list(dataset)[0]
+        sequential = create_engine("portfolio?strategy=best_score",
+                                   seed=SEED).repair(case.source,
+                                                     case.difficulty)
+        wide = create_engine("portfolio?strategy=best_score"
+                             "&member_workers=3",
+                             seed=SEED).repair(case.source, case.difficulty)
+        member_seconds = [m["seconds"] for m in sequential.members]
+        assert sequential.seconds == pytest.approx(sum(member_seconds))
+        assert wide.seconds == pytest.approx(max(member_seconds))
+        # Everything but the clock is untouched by the wave width.
+        assert [m["passed"] for m in wide.members] == \
+            [m["passed"] for m in sequential.members]
+        assert wide.tokens == sequential.tokens
+        assert wide.repaired_source == sequential.repaired_source
+
+    def test_waves_chunk_by_member_workers(self, dataset):
+        case = list(dataset)[0]
+        narrow = create_engine("portfolio?strategy=vote&member_workers=2",
+                               seed=SEED).repair(case.source,
+                                                 case.difficulty)
+        assert [m["wave"] for m in narrow.members] == [0, 0, 1]
+        sequential = create_engine("portfolio?strategy=vote",
+                                   seed=SEED).repair(case.source,
+                                                     case.difficulty)
+        assert [m["wave"] for m in sequential.members] == [0, 1, 2]
+
+    def test_vote_winner_member_workers_invariant(self, dataset):
+        # The semantics change is confined to the clock: winners and
+        # member verdicts match sequential consultation at any width.
+        for case in list(dataset)[:4]:
+            sequential = create_engine("portfolio?strategy=vote",
+                                       seed=SEED).repair(case.source,
+                                                         case.difficulty)
+            wide = create_engine(VOTE_MW, seed=SEED).repair(case.source,
+                                                            case.difficulty)
+            assert wide.passed == sequential.passed
+            assert wide.repaired_source == sequential.repaired_source
+
+    def test_first_pass_chains_stay_sequential(self, dataset):
+        # cascade (and first_pass) consultations are order-dependent;
+        # member_workers must not change their bytes at all.
+        case = list(dataset)[0]
+        plain = create_engine("cascade", seed=SEED).repair(case.source,
+                                                           case.difficulty)
+        wide = create_engine("cascade?member_workers=4", seed=SEED).repair(
+            case.source, case.difficulty)
+        assert wide == plain
+
+    def test_switch_escalation_waves(self, dataset):
+        # Routed member always consults alone (its verdict gates
+        # escalation); the rest chunk into concurrent waves.
+        case = next(c for c in dataset if c.category is UbKind.STACK_BORROW)
+        spec = ("switch?members=gpt-3.5+gpt-3.5+claude-3.5+gpt-4"
+                "&routes=stack_borrow:0&member_workers=4")
+        outcome = create_engine(spec, seed=SEED).repair(case.source,
+                                                        case.difficulty)
+        waves = [m["wave"] for m in outcome.members]
+        if len(outcome.members) > 1:
+            assert waves[0] == 0
+            assert set(waves[1:]) == {1}
+        expected = 0.8 + outcome.members[0]["seconds"] + (
+            max(m["seconds"] for m in outcome.members[1:])
+            if len(outcome.members) > 1 else 0.0)
+        assert outcome.seconds == pytest.approx(expected)
+
+    def test_weighted_vote_is_deterministic_and_heeds_weights(self, dataset):
+        unit = "portfolio?strategy=vote&weights=1,1,1"
+        for case in list(dataset)[:4]:
+            plain = create_engine("portfolio?strategy=vote",
+                                  seed=SEED).repair(case.source,
+                                                    case.difficulty)
+            weighted = create_engine(unit, seed=SEED).repair(
+                case.source, case.difficulty)
+            assert weighted == plain  # unit weights == no weights
+            skew = create_engine("portfolio?strategy=vote&weights=1,1,100",
+                                 seed=SEED).repair(case.source,
+                                                   case.difficulty)
+            if skew.members[2]["passed"]:
+                # An overwhelming weight elects member 2's repair.
+                third = create_engine("gpt-4", seed=member_seed(SEED, 0, 2))
+                assert skew.repaired_source == \
+                    third.repair(case.source, case.difficulty).repaired_source
+
+    def test_budget_tokens_stops_consultation(self, dataset):
+        case = list(dataset)[0]
+        tiny = create_engine("portfolio?strategy=best_score&budget_tokens=1",
+                             seed=SEED).repair(case.source, case.difficulty)
+        assert len(tiny.members) == 1
+        runs = [create_engine("portfolio?strategy=best_score"
+                              "&budget_tokens=1", seed=SEED).repair(
+                                  case.source, case.difficulty)
+                for _ in range(2)]
+        assert runs[0] == runs[1]  # deterministic truncation
+        roomy = create_engine("portfolio?strategy=best_score"
+                              "&budget_tokens=10000000",
+                              seed=SEED).repair(case.source, case.difficulty)
+        assert len(roomy.members) == 3
+
+    def test_budget_seconds_stops_consultation(self, dataset):
+        case = list(dataset)[0]
+        tiny = create_engine("portfolio?strategy=best_score"
+                             "&budget_seconds=0.1",
+                             seed=SEED).repair(case.source, case.difficulty)
+        assert len(tiny.members) == 1
+        if not tiny.passed:
+            assert "budget exhausted" in tiny.failure_reason
+
+    def test_budget_counts_the_crossing_member(self, dataset):
+        # The consultation that crosses the budget still counts: its
+        # tokens/seconds and verdict stay in the outcome.
+        case = list(dataset)[0]
+        outcome = create_engine("portfolio?strategy=best_score"
+                                "&budget_tokens=1",
+                                seed=SEED).repair(case.source,
+                                                  case.difficulty)
+        assert outcome.tokens == outcome.members[0]["tokens"]
+        assert outcome.tokens >= 1
+
+
+# ---------------------------------------------------------------------------
 # Campaign determinism
 
 
@@ -244,6 +443,33 @@ class TestCampaignDeterminism:
                           sort_keys=True) == \
             json.dumps([arm.to_dict() for arm in pooled.arms],
                        sort_keys=True)
+
+    def test_member_workers_arm_executor_invariant(self, small):
+        # Concurrent consultation inside every campaign backend, nested
+        # ensembles included: serial == thread == process, byte for byte.
+        specs = [VOTE_MW,
+                 "portfolio?members=portfolio;strategy=vote;"
+                 "member_workers=2+gpt-4&strategy=vote&member_workers=2"]
+        serial = Campaign(specs, small, seed=SEED, shard_size=2,
+                          executor="serial").run()
+        threaded = Campaign(specs, small, seed=SEED, workers=3,
+                            shard_size=2, executor="thread").run()
+        pooled = Campaign(specs, small, seed=SEED, workers=3,
+                          shard_size=2, executor="process").run()
+        reference = json.dumps([arm.to_dict() for arm in serial.arms],
+                               sort_keys=True)
+        for result in (threaded, pooled):
+            assert json.dumps([arm.to_dict() for arm in result.arms],
+                              sort_keys=True) == reference
+        assert threaded.telemetry.to_dict() == serial.telemetry.to_dict()
+        assert pooled.telemetry.to_dict() == serial.telemetry.to_dict()
+
+    def test_member_wave_rides_telemetry(self, small):
+        result = Campaign([VOTE_MW], Dataset(tuple(list(small)[:2])),
+                          seed=SEED, executor="serial").run()
+        events = [event for event in result.telemetry.events
+                  if isinstance(event, MemberFinished)]
+        assert events and all(event.wave == 0 for event in events)
 
     def test_member_telemetry_emitted(self, serial_run):
         events = [event for event in serial_run.telemetry.events
@@ -312,6 +538,24 @@ class TestCaching:
         second = Campaign([spec], small, seed=SEED).run()
         assert [arm.reports for arm in first.arms] == \
             [arm.reports for arm in second.arms]
+
+    def test_warm_member_cache_parallel_consultation_executes_nothing(
+            self, tmp_path, small, monkeypatch):
+        # Concurrent waves replay warm members parent-side: no task ever
+        # reaches the pool (inline and pooled paths share one execution
+        # function, so patching it proves both idle).
+        from repro.engine import ensemble as ensemble_module
+        member_dir = tmp_path / "members"
+        spec = f"{VOTE_MW}&member_cache_dir={member_dir}"
+        cold = Campaign([spec], small, seed=SEED).run()
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("a member executed during a warm replay")
+
+        monkeypatch.setattr(ensemble_module, "_execute_member_task", boom)
+        warm = Campaign([spec], small, seed=SEED).run()
+        assert [arm.reports for arm in warm.arms] == \
+            [arm.reports for arm in cold.arms]
 
     def test_cache_epoch_invalidates_keys(self, monkeypatch):
         from repro.engine import cache as cache_module
