@@ -2,23 +2,35 @@
 """Model-portfolio smoke: ensembles vs standalone profiles, with hard gates.
 
 Stages, one artifact (``BENCH_ensemble.json``, schema
-``repro.bench_ensemble/2``):
+``repro.bench_ensemble/3`` — see docs/reference.md for the changelog):
 
 1. **Execution-layer checks** on a three-category subset: the composite
-   arms run byte-identically under ``executor="serial"`` and
-   ``executor="process"``, and a warm re-run on the result cache replays
-   every case — zero engine (and therefore zero ensemble-member)
-   executions — with identical bytes and identical ``on_member_done``
-   telemetry counts.  With ``--member-workers N > 1`` the composite arms
-   carry ``member_workers=N``: the gates additionally prove that the
-   ``serial|thread|process`` member-pool backends are byte-identical and
-   that concurrent voting elects the same winners as sequential voting.
+   arms run byte-identically under ``executor="serial"``,
+   ``executor="thread"``, and ``executor="process"`` (every pool leased
+   from the shared ExecutorService), and a warm re-run on the result
+   cache replays every case — zero engine (and therefore zero
+   ensemble-member) executions — with identical bytes and identical
+   ``on_member_done`` telemetry counts.  With ``--member-workers N > 1``
+   the composite arms carry ``member_workers=N``: the gates additionally
+   prove that the ``serial|thread|process`` member-pool backends are
+   byte-identical and that concurrent voting elects the same winners as
+   sequential voting.
 2. **Batched verification**: RustBrain with ``batch_verify=on`` produces
    outcomes identical to ``batch_verify=off`` while executing fewer
    detector (interpreter) runs, and a scored campaign answers strictly
    more verification requests than it runs interpreters — the
    detector-invocations-per-repaired-case amortization.
-3. **The headline claim** (sequential mode only) on the full corpus,
+3. **Fingerprint dedup**: a multi-arm multi-member campaign with the
+   normalized-AST fingerprint layer on (verifier dedup + the
+   process-wide case-detection memo, the default) produces repair
+   outcomes byte-identical to the same campaign with ``fingerprint=off``
+   members and the case memo disabled, while executing strictly fewer
+   interpreter runs per case.  (The exec-metric trace memo keys by
+   fingerprint in *both* legs, so the off baseline is a lower bound on
+   the true PR-4 run count — the measured reduction is conservative.)
+   A probe batch of formatting-divergent corpus duplicates additionally
+   gates that the normalized layer itself answers them in one run each.
+4. **The headline claim** (sequential mode only) on the full corpus,
    repeat-sampled across seeds: the cascade arm (cheap GPT-3.5 pass
    first, full GPT-4 RustBrain only on failure) beats **every**
    standalone-model arm on pass rate at a lower mean virtual-clock
@@ -47,10 +59,10 @@ from repro.bench.figures import (DEFAULT_SEEDS, ENSEMBLE_COMPOSITE_ARMS,
                                  ensemble_data)
 from repro.corpus.dataset import load_dataset
 from repro.engine import ResultCache, create_engine
-from repro.miri import DETECTOR_STATS
+from repro.miri import CASE_MEMO, DETECTOR_STATS
 from repro.miri.errors import UbKind
 
-SCHEMA = "repro.bench_ensemble/2"
+SCHEMA = "repro.bench_ensemble/3"
 DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_ensemble.json"
 
 #: Identity-check subset: small enough for a serial reference run, wide
@@ -58,7 +70,21 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_ensemble.json"
 CHECK_CATEGORIES = [UbKind.UNINIT, UbKind.PANIC, UbKind.STACK_BORROW]
 #: Batched-verification subset (run twice, so kept lean).
 VERIFY_CATEGORIES = [UbKind.UNINIT, UbKind.PANIC]
+#: Fingerprint A/B subset (also run twice).
+FINGERPRINT_CATEGORIES = [UbKind.UNINIT, UbKind.PANIC]
 CHECK_SEED = 3
+
+#: The fingerprint A/B campaign: multi-arm, multi-member, members and
+#: routes pinned explicitly so the ``fingerprint=off`` variant differs in
+#: nothing but the dedup layer under test.
+FINGERPRINT_ARMS = {
+    "on": ("cascade?members=gpt-3.5+rustbrain:gpt-4",
+           "switch?members=claude-3.5+rustbrain:gpt-4&fallback=0"),
+    "off": ("cascade?members=gpt-3.5;fingerprint=off"
+            "+rustbrain;fingerprint=off:gpt-4",
+            "switch?members=claude-3.5;fingerprint=off"
+            "+rustbrain;fingerprint=off:gpt-4&fallback=0"),
+}
 
 
 def _arm_payload(result) -> str:
@@ -80,6 +106,18 @@ def _winners(result, label: str) -> list:
             for report in arm.reports]
 
 
+def _strip_member_specs(entry: dict) -> dict:
+    """One report dict minus the strings that spell the arm's spec — the
+    engine label and each member's spec string differ legitimately
+    between the fingerprint on/off variants; nothing else may."""
+    entry = dict(entry)
+    entry.pop("engine")
+    entry["members"] = [{key: value for key, value in member.items()
+                         if key != "member"}
+                        for member in entry.get("members", [])]
+    return entry
+
+
 def _reports_sans_label(result, label: str) -> str:
     """Arm reports as JSON with the engine label stripped — the label
     embeds the spec string, which legitimately differs per backend."""
@@ -97,6 +135,9 @@ def _identity_checks(member_workers: int) -> tuple[dict, dict]:
     arms = _composite_arms(member_workers)
     serial = ensemble_campaign(dataset, seed=CHECK_SEED, executor="serial",
                                arms=arms).run()
+    threaded = ensemble_campaign(dataset, seed=CHECK_SEED,
+                                 executor="thread", workers=4,
+                                 arms=arms).run()
     with tempfile.TemporaryDirectory(prefix="repro-ensemble-smoke-") as tmp:
         cache = ResultCache(tmp)
         cold = ensemble_campaign(dataset, seed=CHECK_SEED,
@@ -113,6 +154,9 @@ def _identity_checks(member_workers: int) -> tuple[dict, dict]:
     warm_events = {k: v for k, v in warm.telemetry.to_dict().items()
                    if not k.startswith("cache_")}
     checks = {
+        # serial == thread == process through the shared ExecutorService.
+        "thread_matches_serial":
+            _arm_payload(threaded) == _arm_payload(serial),
         "process_matches_serial": _arm_payload(cold) == _arm_payload(serial),
         "warm_zero_member_executions":
             warm.telemetry.cache_counts() == (cases, 0)
@@ -153,6 +197,7 @@ def _verification_checks() -> tuple[dict, dict]:
     # Published run counts must not inherit warmth from the identity stage
     # (same cases, same seed, same process).
     clear_trace_memo()
+    CASE_MEMO.clear()
     dataset = load_dataset().subset(VERIFY_CATEGORIES)
     cases = list(dataset)
     outcomes: dict[str, list] = {}
@@ -192,6 +237,92 @@ def _verification_checks() -> tuple[dict, dict]:
     return checks, summary
 
 
+def _fingerprint_checks() -> tuple[dict, dict]:
+    """Fingerprint dedup: byte-identical outcomes, fewer runs per case.
+
+    Runs one multi-arm multi-member campaign twice — once with the
+    normalized-fingerprint layer on (the default: verifier dedup plus the
+    process-wide case memo) and once with it off (``fingerprint=off``
+    members, case memo disabled: the PR-4 engine code paths) — from
+    identical cold memo states.  Repair outcomes must match byte for
+    byte (member spec strings aside, which legitimately spell the
+    override).  One layer cannot be switched: the exec-metric trace memo
+    keys by fingerprint in both legs, so the off leg's run count is a
+    lower bound on true PR-4 — the gated reduction is conservative.
+    """
+    from repro.core.evaluate import clear_trace_memo
+    dataset = load_dataset().subset(FINGERPRINT_CATEGORIES)
+    runs: dict[str, int] = {}
+    stats: dict[str, dict] = {}
+    payloads: dict[str, list] = {}
+    for mode in ("off", "on"):
+        clear_trace_memo()
+        CASE_MEMO.clear()
+        DETECTOR_STATS.reset()
+        CASE_MEMO.enabled = mode == "on"
+        try:
+            result = ensemble_campaign(dataset, seed=CHECK_SEED,
+                                       executor="serial",
+                                       arms=FINGERPRINT_ARMS[mode]).run()
+        finally:
+            CASE_MEMO.enabled = True
+        runs[mode] = DETECTOR_STATS.runs
+        stats[mode] = {
+            "requests": DETECTOR_STATS.requests,
+            "runs": DETECTOR_STATS.runs,
+            "fingerprint_hits": DETECTOR_STATS.fingerprint_hits,
+            "case_memo_hits": DETECTOR_STATS.case_memo_hits,
+        }
+        payloads[mode] = [
+            _strip_member_specs(report.to_dict())
+            for arm in result.arms for report in arm.reports]
+    # The campaign savings above can come entirely from exact-text memo
+    # hits; the *normalized* layer needs its own exercise, or a silent
+    # fingerprint regression (e.g. falling back to raw hashing) would
+    # keep every gate green.  Batch each case source next to a
+    # formatting-divergent spelling (a trailing comment guarantees the
+    # texts differ while the AST cannot): every pair must interpret once,
+    # through fingerprint hits specifically, with identical verdicts.
+    from repro.miri import detect_ub_batch
+    DETECTOR_STATS.reset()
+    pairs = [(case.source, case.source + "\n// fingerprint probe\n")
+             for case in dataset]
+    reports = detect_ub_batch([source for pair in pairs for source in pair])
+    verdicts = [(r.passed, [e.kind.value for e in r.errors],
+                 list(r.stdout)) for r in reports]
+    normalized_identical = all(verdicts[i] == verdicts[i + 1]
+                               for i in range(0, len(verdicts), 2))
+    # Every probe's second spelling must be answered by a fingerprint
+    # hit, and every request by a run or a hit (two corpus cases that
+    # are themselves renaming-equivalent only shift runs into hits).
+    normalized_once = (
+        DETECTOR_STATS.fingerprint_hits >= len(pairs)
+        and DETECTOR_STATS.runs + DETECTOR_STATS.fingerprint_hits
+        == 2 * len(pairs))
+
+    cases = len(dataset) * len(FINGERPRINT_ARMS["on"])
+    checks = {
+        "fingerprint_outcomes_byte_identical":
+            json.dumps(payloads["on"], sort_keys=True)
+            == json.dumps(payloads["off"], sort_keys=True),
+        "fingerprint_reduces_detector_runs": runs["on"] < runs["off"],
+        "normalized_duplicates_interpret_once":
+            normalized_once and normalized_identical,
+    }
+    summary = {
+        "categories": sorted(cat.value for cat in FINGERPRINT_CATEGORIES),
+        "cases": len(dataset),
+        "arms": list(FINGERPRINT_ARMS["on"]),
+        "detector_stats": stats,
+        "runs_per_case_fingerprint_off": round(runs["off"] / cases, 3),
+        "runs_per_case_fingerprint_on": round(runs["on"] / cases, 3),
+        "normalized_probe_pairs": len(pairs),
+        "normalized_probe_fingerprint_hits":
+            DETECTOR_STATS.fingerprint_hits,
+    }
+    return checks, summary
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("output", nargs="?", type=pathlib.Path, default=None)
@@ -214,10 +345,15 @@ def main(argv: list[str] | None = None) -> int:
     verify_checks, verify_summary = _verification_checks()
     verify_secs = time.perf_counter() - start
 
-    checks = {**identity_checks, **verify_checks}
+    start = time.perf_counter()
+    fingerprint_checks, fingerprint_summary = _fingerprint_checks()
+    fingerprint_secs = time.perf_counter() - start
+
+    checks = {**identity_checks, **verify_checks, **fingerprint_checks}
     wall_seconds = {
         "identity": round(identity_secs, 4),
         "verification": round(verify_secs, 4),
+        "fingerprint": round(fingerprint_secs, 4),
     }
     payload = {
         "schema": SCHEMA,
@@ -229,6 +365,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "identity": identity_summary,
         "verification": verify_summary,
+        "fingerprint": fingerprint_summary,
     }
 
     data = None
@@ -276,6 +413,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  verification: {verify_summary['runs_per_case']} detector "
           f"runs/case for {verify_summary['requests_per_case']} "
           f"requests/case")
+    print(f"  fingerprint: "
+          f"{fingerprint_summary['runs_per_case_fingerprint_on']} detector "
+          f"runs/case vs "
+          f"{fingerprint_summary['runs_per_case_fingerprint_off']} without "
+          f"the dedup layer")
     print(f"  checks: {checks}")
     if not all(checks.values()):
         print("ensemble smoke FAILED gates", file=sys.stderr)

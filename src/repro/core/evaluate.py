@@ -11,13 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..miri import DETECTOR_STATS, detect_ub_batch
+from ..miri import DETECTOR_STATS, detect_ub_batch, source_fingerprint
 from ..miri.errors import MiriReport
 
-#: Process-wide observable-trace memo for the exec metric.  The detector
-#: is a pure function of the source, so a trace computed once is valid for
-#: the life of the process — and campaigns re-verify the same developer
-#: reference for every (arm, seed) pair that repairs a case.  Bounded so a
+#: Process-wide observable-trace memo for the exec metric, keyed by the
+#: normalized :func:`~repro.miri.source_fingerprint`.  The detector is a
+#: pure function of the *program* — and a trace (pass verdict + stdout)
+#: is invariant under formatting and consistent identifier renaming — so
+#: a trace computed once is valid for the life of the process, and a
+#: repair that reproduces the developer reference up to formatting is
+#: not re-interpreted at all.  Campaigns re-verify the same reference
+#: for every (arm, seed) pair that repairs a case.  Bounded so a
 #: pathological workload cannot grow it without limit.
 _TRACE_MEMO: dict[str, tuple[bool, tuple[str, ...]]] = {}
 _TRACE_MEMO_LIMIT = 4096
@@ -31,21 +35,29 @@ def clear_trace_memo() -> None:
 
 
 def _traces(sources: tuple[str, ...]) -> list[tuple[bool, tuple[str, ...]]]:
-    """(passed, stdout) per source; unseen distinct sources run in one
-    batched detector call, repeats are answered from the memo."""
-    missing = [source for source in dict.fromkeys(sources)
-               if source not in _TRACE_MEMO]
+    """(passed, stdout) per source; unseen distinct *fingerprints* run in
+    one batched detector call, repeats are answered from the memo."""
+    fingerprints = [source_fingerprint(source) for source in sources]
+    missing: dict[str, str] = {}  # fingerprint -> representative source
+    for fingerprint, source in zip(fingerprints, sources):
+        if fingerprint not in _TRACE_MEMO and fingerprint not in missing:
+            missing[fingerprint] = source
     fresh: dict[str, tuple[bool, tuple[str, ...]]] = {}
     if missing:
-        for source, report in zip(missing, detect_ub_batch(missing)):
-            fresh[source] = (report.passed, tuple(report.stdout))
+        # The representatives are fingerprint-distinct already, so the
+        # batch's own fingerprint pass would find nothing.
+        for fingerprint, report in zip(
+                missing, detect_ub_batch(list(missing.values()),
+                                         fingerprint=False)):
+            fresh[fingerprint] = (report.passed, tuple(report.stdout))
             if len(_TRACE_MEMO) < _TRACE_MEMO_LIMIT:
-                _TRACE_MEMO[source] = fresh[source]
+                _TRACE_MEMO[fingerprint] = fresh[fingerprint]
     # Questions answered without reaching detect_ub_batch (memo hits and
     # in-call duplicates) still count as requests; ``runs`` alone reflects
     # the amortization.
     DETECTOR_STATS.requests += len(sources) - len(missing)
-    return [fresh.get(source) or _TRACE_MEMO[source] for source in sources]
+    return [fresh.get(fingerprint) or _TRACE_MEMO[fingerprint]
+            for fingerprint in fingerprints]
 
 
 @dataclass(frozen=True)

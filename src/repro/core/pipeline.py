@@ -54,6 +54,16 @@ class RustBrainConfig:
     #: executions when candidates coincide.  ``batch_verify=off`` keeps the
     #: one-detector-run-per-step path (the benchmark gates compare both).
     batch_verify: bool = True
+    #: Normalized-AST dedup on top of batching (``batch_verify=on`` only):
+    #: the S2 verifier matches candidates by
+    #: :func:`repro.miri.source_fingerprint` (formatting- and
+    #: identifier-divergent spellings of one program verify once), and F1
+    #: detection goes through the process-wide
+    #: :func:`repro.miri.detect_case` memo shared with every other engine
+    #: consulting the same case source.  Outcomes are byte-identical
+    #: either way; ``fingerprint=off`` restores the exact-text engine
+    #: paths (the benchmark gates compare run counts).
+    fingerprint: bool = True
 
 
 @dataclass
@@ -107,11 +117,22 @@ class RustBrain:
 
         # F1: detection.  The F1 report seeds the per-repair verification
         # memo: any S2 rewrite chain that arrives back at the original
-        # program re-verifies for free.
-        verifier = BatchVerifier() if config.batch_verify else None
+        # program re-verifies for free (under fingerprinting even though
+        # the canonical print spells it differently than the raw input).
+        # With fingerprint=on the question itself goes through the
+        # process-wide case memo, so N ensemble members consulting this
+        # same source interpret it once between them.
+        verifier = BatchVerifier(fingerprint=config.fingerprint) \
+            if config.batch_verify else None
         clock.advance(config.detector_seconds)
-        report = verifier.verify(source) if verifier is not None \
-            else detect_ub(source, collect=True)
+        if verifier is not None and config.fingerprint:
+            from ..miri import detect_case
+            report = detect_case(source, collect=True)
+            verifier.seed(source, report)
+        elif verifier is not None:
+            report = verifier.verify(source)
+        else:
+            report = detect_ub(source, collect=True)
         if report.passed:
             return self._outcome(client, True, source, 0, 0, 0, 0, [], [],
                                  used_kb=False, used_feedback=False)

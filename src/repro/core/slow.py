@@ -42,7 +42,9 @@ class SlowThinking:
         self.max_steps = max_steps_per_solution
         #: One batched-verification memo shared by all three agents, so the
         #: dedup spans every solution and round of the repair this instance
-        #: serves; ``None`` keeps the one-detector-run-per-step path.
+        #: serves — and, when the verifier fingerprints, formatting- or
+        #: identifier-divergent spellings of one candidate program too;
+        #: ``None`` keeps the one-detector-run-per-step path.
         self.verifier = verifier
         self.agents = {
             name: FixAgent(name, client, detector_seconds, verifier)

@@ -21,6 +21,8 @@ from .cache import (CACHE_EPOCH, CACHE_SCHEMA, ResultCache, arm_key,
                     case_key, fingerprint_case, fingerprint_dataset)
 from .campaign import (EXECUTORS, ArmRun, Campaign, CampaignResult,
                        case_seed, run_cases)
+from .pool import (EXECUTOR_SERVICE, POOL_KINDS, CoreBudget,
+                   ExecutorService)
 from .ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS, MEMBER_EXECUTORS,
                        STRATEGIES, EnsembleConfig, EnsembleEngine, Member,
                        member_seed, parse_member, parse_members,
@@ -47,13 +49,17 @@ __all__ = [
     "CaseFinished",
     "CaseResult",
     "CaseStarted",
+    "CoreBudget",
     "EXECUTORS",
+    "EXECUTOR_SERVICE",
     "EngineConfigError",
     "EngineFinished",
     "EngineInfo",
     "EngineRegistry",
     "EngineSpec",
     "EngineStarted",
+    "ExecutorService",
+    "POOL_KINDS",
     "ProgressPrinter",
     "REGISTRY",
     "RepairEngine",

@@ -52,7 +52,11 @@ CACHE_SCHEMA = "repro.result-cache/1"
 #: behaviour-changing PR; bumping too often only costs a cold run.
 #: Epoch 4: concurrent ensemble members (member_workers= waves charge
 #: max(member seconds) instead of the sum) and per-member wave summaries.
-CACHE_EPOCH = 4
+#: Epoch 5: shared ExecutorService + fingerprint-deduplicated
+#: verification (detect_case memo, normalized-AST verifier dedup, new
+#: fingerprint= engine flags) — outcomes are gated byte-identical, but
+#: the execution profile behind every cached report changed.
+CACHE_EPOCH = 5
 
 _SEP = "\x1f"  # unit separator: cannot appear in specs, names, or numbers
 

@@ -14,11 +14,18 @@ Three execution backends share that invariant (``executor=``):
 * ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Case
   execution is pure-Python CPU-bound, so threads mostly help when observers
   or the cache do I/O; kept as the low-overhead default.
-* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` over
-  picklable shard tasks: real multi-core parallelism for the parse →
-  interpret → repair pipeline.  Workers return plain
-  :class:`~repro.engine.types.RepairReport` lists; all telemetry is emitted
-  in the parent in deterministic (submission) order.
+* ``"process"`` — a process pool over picklable shard tasks: real
+  multi-core parallelism for the parse → interpret → repair pipeline.
+  Workers return plain :class:`~repro.engine.types.RepairReport` lists;
+  all telemetry is emitted in the parent in deterministic (submission)
+  order.
+
+Thread and process pools are *leased* from the shared
+:data:`~repro.engine.pool.EXECUTOR_SERVICE` (see DESIGN.md, "Execution
+resources"): repeated campaigns reuse one long-lived pool per
+``(kind, workers)``, idle pools are reaped after a timeout, and the
+service's core budget keeps nested campaign×ensemble parallelism from
+oversubscribing the machine — all wall-clock-only, never bytes.
 
 A :class:`~repro.engine.cache.ResultCache` (``cache=``/``cache_dir=``) is
 consulted in the parent before any case is dispatched: hits are replayed
@@ -45,12 +52,12 @@ from __future__ import annotations
 import json
 import threading
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..corpus.dataset import Dataset, load_dataset
 from .cache import (ResultCache, arm_key, case_key, fingerprint_case,
                     fingerprint_dataset)
+from .pool import EXECUTOR_SERVICE, cancel_and_wait
 from .registry import create_engine
 from .results import SystemResults
 from .spec import EngineSpec, arm_label
@@ -473,28 +480,39 @@ class Campaign:
                                                plan.misses, total)
                 collect(round_index, plan, miss_reports, replay_misses=False)
         elif self.executor == "thread":
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            # Pools come from the shared ExecutorService: leased for the
+            # arm, reused by the next one, reaped only after idling out.
+            with EXECUTOR_SERVICE.lease("thread", self.workers) as pool:
                 futures = [pool.submit(self._run_shard, run_spec, label,
                                        base_seed, plan.misses, total)
                            for plan in plans]
                 # Collect in submission order: reports stay dataset-ordered
                 # and round events fire deterministically even though shards
-                # complete in any order.
-                for round_index, (future, plan) in enumerate(zip(futures,
-                                                                 plans)):
-                    collect(round_index, plan, future.result(),
-                            replay_misses=False)
+                # complete in any order.  The pool is shared, so an error
+                # must not leave orphan shards running behind the raise.
+                try:
+                    for round_index, (future, plan) in enumerate(
+                            zip(futures, plans)):
+                        collect(round_index, plan, future.result(),
+                                replay_misses=False)
+                except BaseException:
+                    cancel_and_wait(futures)
+                    raise
         else:
             spec_str = run_spec.to_string()
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            with EXECUTOR_SERVICE.lease("process", self.workers) as pool:
                 futures = [pool.submit(_execute_case_batch, spec_str, label,
                                        self.model, self.temperature,
                                        base_seed, plan.misses)
                            for plan in plans]
-                for round_index, (future, plan) in enumerate(zip(futures,
-                                                                 plans)):
-                    collect(round_index, plan, future.result(),
-                            replay_misses=True)
+                try:
+                    for round_index, (future, plan) in enumerate(
+                            zip(futures, plans)):
+                        collect(round_index, plan, future.result(),
+                                replay_misses=True)
+                except BaseException:
+                    cancel_and_wait(futures)
+                    raise
         return reports
 
     def _run_shared_arm(self, spec: EngineSpec, run_spec: EngineSpec,
@@ -605,18 +623,25 @@ class Campaign:
 
         if not live:
             # Fully cache-warm sweep: every arm replays from disk, so
-            # forking a worker process would do literally nothing.
+            # leasing a worker pool would do literally nothing.
             for plan in plans:
                 collect(plan, {})
             return arms
-        with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(live))) as pool:
+        # Keyed by the campaign's worker count, NOT min(workers, live):
+        # a live-count-dependent key would accumulate one long-lived pool
+        # per distinct cache-miss count across repeated sweeps.  Excess
+        # workers simply idle for this run.
+        with EXECUTOR_SERVICE.lease("process", self.workers) as pool:
             futures = {id(plan): pool.submit(
                 _execute_shared_arm, plan[1].to_string(), plan[2],
                 self.model, self.temperature, plan[3], cases)
                 for plan in live}
-            for plan in plans:
-                collect(plan, futures)
+            try:
+                for plan in plans:
+                    collect(plan, futures)
+            except BaseException:
+                cancel_and_wait(futures.values())
+                raise
         return arms
 
     def _emit_round(self, label: str, round_index: int, rounds: int,

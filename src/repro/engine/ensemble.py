@@ -84,14 +84,12 @@ bytes are identical to a live run's, so caching never changes results.
 
 from __future__ import annotations
 
-import os
-import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..llm.profiles import PROFILES
 from ..miri.errors import UbKind
 from .cache import ResultCache, case_key, fingerprint_case
+from .pool import EXECUTOR_SERVICE, cancel_and_wait
 from .registry import (EngineConfigError, REGISTRY, apply_config_overrides,
                        create_engine, register_engine)
 from .spec import EngineSpec, SpecError, arm_label
@@ -258,42 +256,6 @@ def _member_cache(root: str) -> ResultCache:
     if cache is None:
         cache = _MEMBER_CACHES.setdefault(key, ResultCache(root))
     return cache
-
-
-#: Shared member process pools, one per ``member_workers`` size.  Ensembles
-#: are rebuilt per case under campaign per-case isolation; a per-instance
-#: pool would fork workers for every case, so pooled consultation shares
-#: one long-lived executor per size for the life of the process (workers
-#: rebuild member engines from spec strings, exactly like campaign
-#: process-pool workers).
-_MEMBER_POOLS: dict[int, ProcessPoolExecutor] = {}
-_MEMBER_POOLS_LOCK = threading.Lock()
-
-
-def _reset_member_pools_after_fork() -> None:
-    # A forked child (e.g. a campaign process-pool worker) inherits the
-    # dict but not the executors' manager threads — submitting to an
-    # inherited pool would hang forever — and could inherit the lock in a
-    # locked state.  Start every child empty with a fresh lock; it builds
-    # its own pools on first use.
-    global _MEMBER_POOLS_LOCK
-    _MEMBER_POOLS_LOCK = threading.Lock()
-    _MEMBER_POOLS.clear()
-
-
-if hasattr(os, "register_at_fork"):
-    os.register_at_fork(after_in_child=_reset_member_pools_after_fork)
-
-
-def _member_process_pool(workers: int) -> ProcessPoolExecutor:
-    # Locked: two campaign threads racing the first consultation would
-    # otherwise both construct an executor and leak the setdefault loser.
-    with _MEMBER_POOLS_LOCK:
-        pool = _MEMBER_POOLS.get(workers)
-        if pool is None:
-            pool = _MEMBER_POOLS.setdefault(
-                workers, ProcessPoolExecutor(max_workers=workers))
-    return pool
 
 
 def _process_pool_allowed() -> bool:
@@ -493,18 +455,31 @@ class EnsembleEngine:
         if pending:
             if self.config.member_executor == "process" \
                     and _process_pool_allowed():
-                pool = _member_process_pool(self.config.member_workers)
-                futures = [pool.submit(_execute_member_task, *task)
-                           for _position, _key, task in pending]
-                fresh = [future.result() for future in futures]
+                # Leased from the shared ExecutorService: one long-lived
+                # process pool per width, reused across cases and arms,
+                # reaped when idle, budget-accounted against campaigns.
+                with EXECUTOR_SERVICE.lease(
+                        "process", self.config.member_workers) as pool:
+                    futures = [pool.submit(_execute_member_task, *task)
+                               for _position, _key, task in pending]
+                    try:
+                        fresh = [future.result() for future in futures]
+                    except BaseException:
+                        # Shared pool: never leave wave tasks running
+                        # behind a propagating error.
+                        cancel_and_wait(futures)
+                        raise
             else:
-                # Deliberately per-wave, not shared like the process pools:
-                # a nested ensemble's wave submits from inside an outer
-                # wave's worker thread, and blocking on an inner future in
-                # a *shared* bounded pool would starve it into deadlock.
-                # Thread spawn cost is noise next to a member execution.
+                # Deliberately ephemeral, not shared like the process
+                # pools: a nested ensemble's wave submits from inside an
+                # outer wave's worker thread, and blocking on an inner
+                # future in a *shared* bounded pool would starve it into
+                # deadlock.  The service still accounts the wave against
+                # the core budget (the width may be clamped — pure
+                # wall-clock) and thread spawn cost is noise next to a
+                # member execution.
                 workers = min(self.config.member_workers, len(pending))
-                with ThreadPoolExecutor(max_workers=workers) as pool:
+                with EXECUTOR_SERVICE.ephemeral("thread", workers) as pool:
                     futures = [pool.submit(_execute_member_task, *task)
                                for _position, _key, task in pending]
                     fresh = [future.result() for future in futures]
@@ -550,9 +525,14 @@ class EnsembleEngine:
         """The member consultation order and any routing overhead."""
         if self.kind != "switch":
             return list(range(len(self.members))), 0.0
-        # Feedback-guided routing: one detector run picks the entry point.
-        from ..miri import detect_ub
-        report = detect_ub(source)
+        # Feedback-guided routing: one detector question picks the entry
+        # point.  Routed through the process-wide case memo under the
+        # same (source, collect=True) key the members' F1 detections
+        # use — collection mode records the identical first error, and
+        # only ``errors[0].kind`` matters here — so the interpreter
+        # typically runs once per distinct case source per process.
+        from ..miri import detect_case
+        report = detect_case(source, collect=True)
         category = report.errors[0].kind if report.errors else None
         start = self.routes.get(category, self.config.fallback) \
             if category is not None else self.config.fallback

@@ -17,23 +17,31 @@ False
 'dangling_pointer'
 
 :func:`detect_ub_batch` verifies many candidate sources in one call:
-parsing rides the :func:`~repro.lang.parser.parse_program` memo, and
-textually identical sources are interpreted **once** and share one report.
-Candidate repair solutions converge on identical programs constantly
-(shared leading rules, rollback revisits, members proposing the same fix),
-so batching the verification step cuts real interpreter executions without
-changing a single verdict.  :class:`BatchVerifier` extends that dedup
-across successive calls within one repair, which is how RustBrain's S2
-stage and the exec-metric scorer amortize their detector runs.
+parsing rides the :func:`~repro.lang.parser.parse_program` memo,
+textually identical sources are interpreted **once**, and (with
+``fingerprint=True``, the default) so are sources that normalize to the
+same :func:`~repro.miri.fingerprint.source_fingerprint` — formatting- or
+identifier-divergent spellings of one program.  Candidate repair
+solutions converge on identical programs constantly (shared leading
+rules, rollback revisits, members proposing the same fix), so batching
+the verification step cuts real interpreter executions without changing
+a single verdict.  :class:`BatchVerifier` extends that dedup across
+successive calls within one repair, which is how RustBrain's S2 stage
+and the exec-metric scorer amortize their detector runs, and
+:func:`detect_case` shares *case-level* detection (F1, ensemble routing)
+process-wide, so N ensemble members consulting the same case source pay
+for one interpretation between them.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..lang import ast_nodes as ast
 from ..lang.parser import ParseError, parse_program
 from .errors import MiriError, MiriReport, UbKind, PAPER_CATEGORIES
+from .fingerprint import FINGERPRINT_VERSION, source_fingerprint
 from .interp import DEFAULT_FUEL, Interpreter, run_program
 
 
@@ -42,19 +50,28 @@ class DetectorStats:
     """Process-wide detector accounting (see :data:`DETECTOR_STATS`).
 
     ``requests`` counts verification *questions* (one per source handed to
-    :func:`detect_ub` or :func:`detect_ub_batch`); ``runs`` counts actual
-    interpreter executions.  Batching makes ``runs < requests``; the gap is
-    the amortization ``BENCH_ensemble.json`` gates on.  Plain counters
-    under the GIL — exact in the serial benchmark harnesses that read
-    them, best-effort under concurrent member consultation.
+    :func:`detect_ub`, :func:`detect_ub_batch`, or :func:`detect_case`);
+    ``runs`` counts actual interpreter executions.  Batching makes
+    ``runs < requests``; the gap is the amortization
+    ``BENCH_ensemble.json`` gates on.  ``fingerprint_hits`` counts the
+    requests answered through normalized-fingerprint dedup specifically
+    (a strict subset of the gap — exact-text dedup and the memos account
+    for the rest), and ``case_memo_hits`` the requests answered by the
+    process-wide :data:`CASE_MEMO`.  Plain counters under the GIL —
+    exact in the serial benchmark harnesses that read them, best-effort
+    under concurrent member consultation.
     """
 
     requests: int = 0
     runs: int = 0
+    fingerprint_hits: int = 0
+    case_memo_hits: int = 0
 
     def reset(self) -> None:
         self.requests = 0
         self.runs = 0
+        self.fingerprint_hits = 0
+        self.case_memo_hits = 0
 
 
 #: The process-wide counter instance every detector call updates.
@@ -100,30 +117,120 @@ def detect_ub(source: str | ast.Program, *, collect: bool = False,
 
 
 def detect_ub_batch(sources, *, collect: bool = False, max_errors: int = 8,
-                    fuel: int = DEFAULT_FUEL,
-                    debug: bool = False) -> list[MiriReport]:
+                    fuel: int = DEFAULT_FUEL, debug: bool = False,
+                    fingerprint: bool = True) -> list[MiriReport]:
     """Run the detector over many candidate sources in one call.
 
-    Returns one :class:`~repro.miri.errors.MiriReport` per source, in input
-    order.  Textually identical string sources are interpreted once and
-    **share one report object** — verdicts are byte-identical to per-source
-    :func:`detect_ub` calls, so callers must treat returned reports as
-    read-only (every in-tree consumer does).  Parsed ``ast.Program`` inputs
-    are never deduplicated (node identity is part of their meaning).
+    Returns one :class:`~repro.miri.errors.MiriReport` per source, in
+    input order.  String sources deduplicate at two levels: textually
+    identical inputs always share one interpretation, and with
+    ``fingerprint=True`` (the default) so do inputs whose
+    :func:`~repro.miri.fingerprint.source_fingerprint` matches —
+    formatting- or identifier-divergent spellings of one program
+    (``DETECTOR_STATS.fingerprint_hits`` counts those specifically).
+
+    **Aliasing:** each *duplicate* position receives a defensive
+    :meth:`~repro.miri.errors.MiriReport.copy` of the first occurrence's
+    report, so mutating one returned report never corrupts another —
+    only the frozen error entries are shared.  Verdicts, error counts,
+    and stdout of a fingerprint-deduplicated report are byte-identical
+    to a fresh run; its error *messages* and spans may spell the first
+    variant's identifiers and positions (the normalization erases
+    exactly that).  Parsed ``ast.Program`` inputs are never
+    deduplicated (node identity is part of their meaning).
     """
     memo: dict[str, MiriReport] = {}
+    fp_memo: dict[str, MiriReport] = {}
     reports: list[MiriReport] = []
     for source in sources:
         DETECTOR_STATS.requests += 1
-        if isinstance(source, str):
-            report = memo.get(source)
-            if report is None:
-                report = _detect(source, collect, max_errors, fuel, debug)
-                memo[source] = report
-            reports.append(report)
-        else:
+        if not isinstance(source, str):
             reports.append(_detect(source, collect, max_errors, fuel, debug))
+            continue
+        report = memo.get(source)
+        if report is not None:
+            reports.append(report.copy())
+            continue
+        fp = source_fingerprint(source) if fingerprint else None
+        if fp is not None and fp in fp_memo:
+            DETECTOR_STATS.fingerprint_hits += 1
+            report = fp_memo[fp]
+            memo[source] = report
+            reports.append(report.copy())
+            continue
+        report = _detect(source, collect, max_errors, fuel, debug)
+        memo[source] = report
+        if fp is not None:
+            fp_memo[fp] = report
+        reports.append(report)
     return reports
+
+
+class CaseMemo:
+    """Process-wide memo for *case-level* detection (see :func:`detect_case`).
+
+    Keys are the exact source text plus the detector options, so a hit
+    replays a report whose spans and messages match the caller's source
+    byte for byte — safe even for consumers (AST pruning, feature
+    extraction) that anchor on error locations.  Bounded, thread-safe,
+    and cleared wholesale by benchmarks that publish run counts.
+    """
+
+    def __init__(self, limit: int = 2048):
+        self.limit = limit
+        #: Master switch — benchmarks flip it off to reproduce the
+        #: memo-free (PR-4) execution profile for A/B run counts.
+        self.enabled = True
+        self._entries: dict[tuple, MiriReport] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: tuple) -> MiriReport | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def store(self, key: tuple, report: MiriReport) -> None:
+        with self._lock:
+            if len(self._entries) < self.limit:
+                self._entries[key] = report
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: The process-wide case-detection memo :func:`detect_case` consults.
+CASE_MEMO = CaseMemo()
+
+
+def detect_case(source: str, *, collect: bool = False, max_errors: int = 8,
+                fuel: int = DEFAULT_FUEL) -> MiriReport:
+    """Detection for *case-level* queries, memoized process-wide.
+
+    Engines run F1 detection — and ``switch`` ensembles their routing
+    probe — on the raw case source; under an ensemble, N members ask the
+    identical question about the identical text, and campaigns repeat it
+    per (arm, seed).  This entry point answers repeats from
+    :data:`CASE_MEMO` (exact-text keys, so spans and messages always
+    match the caller's source) and returns a defensive copy, so every
+    caller owns its report.  Byte-identical to :func:`detect_ub` by
+    construction; only wall-clock interpreter runs drop
+    (``DETECTOR_STATS.case_memo_hits`` counts the savings).
+    """
+    DETECTOR_STATS.requests += 1
+    if not CASE_MEMO.enabled:
+        return _detect(source, collect, max_errors, fuel, False)
+    key = (source, collect, max_errors, fuel)
+    report = CASE_MEMO.lookup(key)
+    if report is None:
+        report = _detect(source, collect, max_errors, fuel, False)
+        CASE_MEMO.store(key, report.copy())
+        return report
+    DETECTOR_STATS.case_memo_hits += 1
+    return report.copy()
 
 
 class BatchVerifier:
@@ -136,28 +243,70 @@ class BatchVerifier:
     The memo answers repeats without re-interpreting — verdicts stay
     byte-identical (reports are never mutated downstream) and the virtual
     clock still charges every verification (it models a sequential real
-    run), so only wall-clock work drops.  ``requests``/``runs`` mirror
-    :class:`DetectorStats` at per-repair scope.
+    run), so only wall-clock work drops.  With ``fingerprint=True`` (the
+    default) the memo additionally matches *normalized* duplicates via
+    :func:`~repro.miri.fingerprint.source_fingerprint` — e.g. a rewrite
+    chain that arrives back at the original program re-verifies for free
+    even though the canonical print spells it differently than the raw
+    input.  ``requests``/``runs`` mirror :class:`DetectorStats` at
+    per-repair scope; ``fingerprint_hits`` counts the normalized matches.
     """
 
     def __init__(self, *, collect: bool = True, max_errors: int = 8,
-                 fuel: int = DEFAULT_FUEL):
+                 fuel: int = DEFAULT_FUEL, fingerprint: bool = True):
         self.collect = collect
         self.max_errors = max_errors
         self.fuel = fuel
+        self.fingerprint = fingerprint
         self.requests = 0
         self.runs = 0
+        self.fingerprint_hits = 0
         self._memo: dict[str, MiriReport] = {}
+        self._fp_memo: dict[str, MiriReport] = {}
+
+    def _lookup(self, source: str) -> MiriReport | None:
+        report = self._memo.get(source)
+        if report is not None:
+            return report
+        if self.fingerprint:
+            report = self._fp_memo.get(source_fingerprint(source))
+            if report is not None:
+                DETECTOR_STATS.fingerprint_hits += 1
+                self.fingerprint_hits += 1
+                self._memo[source] = report
+                return report
+        return None
+
+    def _store(self, source: str, report: MiriReport) -> None:
+        self._memo[source] = report
+        if self.fingerprint:
+            self._fp_memo.setdefault(source_fingerprint(source), report)
+
+    def seed(self, source: str, report: MiriReport) -> None:
+        """Pre-load a report obtained elsewhere (e.g. the F1 detection
+        answered by :func:`detect_case`), so later verifications of the
+        same program — under any spelling, when fingerprinting — replay
+        it without another interpreter run."""
+        self._store(source, report)
+
+    def _batch_size(self, sources: list[str]) -> int:
+        """How many of ``sources`` one batch actually executes: the
+        fingerprint-distinct count when fingerprinting, else all of
+        them.  Computed locally — a global-counter delta would absorb
+        runs from concurrently-consulting ensemble members."""
+        if not self.fingerprint:
+            return len(sources)
+        return len({source_fingerprint(source) for source in sources})
 
     def verify(self, source: str) -> MiriReport:
         """The (possibly memoized) detector report for one candidate."""
         self.requests += 1
-        report = self._memo.get(source)
+        report = self._lookup(source)
         if report is None:
             report = detect_ub_batch([source], collect=self.collect,
                                      max_errors=self.max_errors,
-                                     fuel=self.fuel)[0]
-            self._memo[source] = report
+                                     fuel=self.fuel, fingerprint=False)[0]
+            self._store(source, report)
             self.runs += 1
         else:
             # Memo answers are still verification requests; only ``runs``
@@ -170,14 +319,16 @@ class BatchVerifier:
         :func:`detect_ub_batch` call."""
         self.requests += len(sources)
         missing = [source for source in dict.fromkeys(sources)
-                   if source not in self._memo]
+                   if self._lookup(source) is None]
         if missing:
             for source, report in zip(
-                    missing, detect_ub_batch(missing, collect=self.collect,
-                                             max_errors=self.max_errors,
-                                             fuel=self.fuel)):
-                self._memo[source] = report
-            self.runs += len(missing)
+                    missing,
+                    detect_ub_batch(missing, collect=self.collect,
+                                    max_errors=self.max_errors,
+                                    fuel=self.fuel,
+                                    fingerprint=self.fingerprint)):
+                self._store(source, report)
+            self.runs += self._batch_size(missing)
         DETECTOR_STATS.requests += len(sources) - len(missing)
         return [self._memo[source] for source in sources]
 
@@ -190,16 +341,21 @@ def error_count(source: str | ast.Program, **kwargs) -> int:
 
 __all__ = [
     "BatchVerifier",
+    "CASE_MEMO",
+    "CaseMemo",
     "DEFAULT_FUEL",
     "DETECTOR_STATS",
     "DetectorStats",
+    "FINGERPRINT_VERSION",
     "Interpreter",
     "MiriError",
     "MiriReport",
     "PAPER_CATEGORIES",
     "UbKind",
+    "detect_case",
     "detect_ub",
     "detect_ub_batch",
     "error_count",
     "run_program",
+    "source_fingerprint",
 ]

@@ -136,6 +136,17 @@ class MiriReport:
     def first(self) -> MiriError | None:
         return self.errors[0] if self.errors else None
 
+    def copy(self) -> "MiriReport":
+        """An independent report with the same verdict.
+
+        The error entries themselves are frozen and shared; only the
+        containers are fresh, so memo layers can hand out defensive
+        copies without a caller's mutation ever reaching another
+        caller's report.
+        """
+        return MiriReport(errors=list(self.errors),
+                         stdout=list(self.stdout), steps=self.steps)
+
     def render(self) -> str:
         if self.passed:
             return "pass: no undefined behavior detected"

@@ -100,21 +100,19 @@ class TestDeterminism:
                                                         tmp_path,
                                                         monkeypatch):
         # A fully cache-warm pooled shared campaign replays every arm from
-        # disk; forking a worker process for nothing is a bug.
-        from repro.engine import ResultCache
-        from repro.engine import campaign as campaign_module
+        # disk; leasing a worker pool for nothing is a bug.
+        from repro.engine import EXECUTOR_SERVICE, ResultCache
         small = Dataset(tuple(list(dataset)[:4]))
         arms = ["rustbrain?seed=3", "rustbrain?seed=11"]
         cache = ResultCache(tmp_path / "cache")
         cold = Campaign(arms, small, isolation="shared", workers=2,
                         executor="process", cache=cache).run()
 
-        class BoomPool:
-            def __init__(self, *_args, **_kwargs):
-                raise AssertionError(
-                    "ProcessPoolExecutor spawned for a warm campaign")
+        def boom_lease(*_args, **_kwargs):
+            raise AssertionError("a pool was leased for a warm campaign")
 
-        monkeypatch.setattr(campaign_module, "ProcessPoolExecutor", BoomPool)
+        monkeypatch.setattr(EXECUTOR_SERVICE, "lease", boom_lease)
+        monkeypatch.setattr(EXECUTOR_SERVICE, "ephemeral", boom_lease)
         warm = Campaign(arms, small, isolation="shared", workers=2,
                         executor="process", cache=cache).run()
         assert json.dumps([arm.to_dict() for arm in warm.arms],

@@ -570,6 +570,71 @@ class TestCaching:
 
 
 # ---------------------------------------------------------------------------
+# Cross-member detection memo (fingerprint layer)
+
+
+class TestCrossMemberMemo:
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self):
+        from repro.miri import CASE_MEMO
+        CASE_MEMO.clear()
+        yield
+        CASE_MEMO.clear()
+        CASE_MEMO.enabled = True
+
+    def test_members_share_one_case_detection(self, small):
+        # N members all run F1 on the identical case source; the memo
+        # answers every repeat after the first without an interpreter run.
+        from repro.miri import CASE_MEMO, DETECTOR_STATS
+        case = list(small)[0]
+        DETECTOR_STATS.reset()
+        create_engine("portfolio?strategy=best_score", seed=SEED).repair(
+            case.source, case.difficulty)
+        assert DETECTOR_STATS.case_memo_hits >= 2  # members 2 and 3 hit
+        assert len(CASE_MEMO) >= 1
+
+    def test_outcomes_identical_to_memo_free_run(self, small):
+        # Byte-identity vs the PR-4 execution profile: the same ensemble
+        # with the memo disabled and fingerprinting off produces the
+        # exact same RepairOutcome for every case.
+        from repro.miri import CASE_MEMO
+        members = "gpt-3.5+rustbrain:gpt-4"
+        off_members = ("gpt-3.5;fingerprint=off"
+                       "+rustbrain;fingerprint=off:gpt-4")
+
+        def strip_member_specs(outcome):
+            # The member spec string legitimately differs (it spells the
+            # fingerprint=off override); everything else must not.
+            payload = dict(vars(outcome))
+            payload["members"] = [
+                {key: value for key, value in member.items()
+                 if key != "member"} for member in outcome.members]
+            return payload
+
+        for case in list(small)[:4]:
+            on = create_engine(f"cascade?members={members}",
+                               seed=SEED).repair(case.source,
+                                                 case.difficulty)
+            CASE_MEMO.enabled = False
+            off = create_engine(f"cascade?members={off_members}",
+                                seed=SEED).repair(case.source,
+                                                  case.difficulty)
+            CASE_MEMO.enabled = True
+            assert strip_member_specs(on) == strip_member_specs(off)
+
+    def test_switch_routing_rides_the_memo(self, small):
+        from repro.miri import DETECTOR_STATS
+        case = list(small)[0]
+        create_engine("switch", seed=SEED).repair(case.source,
+                                                  case.difficulty)
+        DETECTOR_STATS.reset()
+        create_engine("switch", seed=SEED + 1).repair(case.source,
+                                                      case.difficulty)
+        # The second arm's routing probe is a memo hit, not a run.
+        assert DETECTOR_STATS.case_memo_hits >= 1
+
+
+# ---------------------------------------------------------------------------
 # Observer integration
 
 

@@ -43,11 +43,18 @@ class TestDetectUbBatch:
         assert [_verdict(r) for r in batch] == \
             [_verdict(r) for r in singles]
 
-    def test_duplicates_share_one_report(self):
+    def test_duplicates_get_defensive_copies(self):
+        # Duplicates are interpreted once but each position owns its
+        # report: mutating one must never corrupt another (the aliasing
+        # the PR-4 implementation documented away is gone).
         batch = detect_ub_batch([CLEAN, BUGGY, CLEAN, CLEAN])
-        assert batch[0] is batch[2] is batch[3]
-        assert batch[1] is not batch[0]
+        assert batch[0] is not batch[2] and batch[2] is not batch[3]
+        assert _verdict(batch[0]) == _verdict(batch[2]) == _verdict(batch[3])
         assert batch[0].passed and not batch[1].passed
+        batch[2].stdout.append("corrupted")
+        batch[2].errors.append(batch[1].errors[0])
+        assert "corrupted" not in batch[0].stdout
+        assert batch[0].passed and batch[3].passed and not batch[3].errors
 
     def test_duplicates_interpret_once(self):
         DETECTOR_STATS.reset()

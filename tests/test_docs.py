@@ -27,12 +27,51 @@ def _doc_paths():
 
 def test_doc_set_is_nonempty():
     paths = {path.name for path in _doc_paths()}
-    assert {"README.md", "DESIGN.md", "quickstart.md"} <= paths
+    assert {"README.md", "DESIGN.md", "quickstart.md",
+            "reference.md"} <= paths
 
 
 @pytest.mark.parametrize("path", _doc_paths(), ids=lambda p: p.name)
 def test_doc_file_is_clean(path, cli_options):
     assert check_docs.check_file(path, cli_options) == []
+
+
+def test_reference_is_strict_clean():
+    # Tier-1 runs the same completeness bar CI's docs step enforces:
+    # every event/result dataclass documented, every schema id present.
+    path = ROOT / "docs" / "reference.md"
+    assert check_docs.check_reference(path.read_text(encoding="utf-8"),
+                                      strict=True) == []
+
+
+class TestReferenceCheckerCatchesDrift:
+    """The reference validator must fail on the drift it exists to catch."""
+
+    @pytest.fixture(scope="class")
+    def reference_text(self):
+        return (ROOT / "docs" / "reference.md").read_text(encoding="utf-8")
+
+    def test_renamed_field_is_stale_and_missing(self, reference_text):
+        broken = reference_text.replace("| `wave` | int |",
+                                        "| `tide` | int |")
+        errors = check_docs.check_reference(broken)
+        assert any("nonexistent" in error for error in errors)
+        assert any("undocumented" in error for error in errors)
+
+    def test_strict_requires_every_section(self, reference_text):
+        broken = reference_text.replace("`CaseResult`", "`CaseThing`")
+        assert check_docs.check_reference(broken) == []
+        errors = check_docs.check_reference(broken, strict=True)
+        assert any("CaseResult: no documented" in error for error in errors)
+
+    def test_strict_requires_every_schema_id(self, reference_text):
+        broken = reference_text.replace("repro.bench_ensemble/3",
+                                        "repro.bench_ensemble/9")
+        errors = check_docs.check_reference(broken, strict=True)
+        assert any("repro.bench_ensemble/3" in error for error in errors)
+
+    def test_main_strict_needs_the_reference(self, capsys):
+        assert check_docs.main(["--strict", str(ROOT / "README.md")]) == 1
 
 
 class TestCheckerCatchesRot:

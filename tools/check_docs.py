@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs checker: keep README/DESIGN/docs code blocks and links from rotting.
 
-Three mechanical checks over every tracked markdown file:
+Four mechanical checks over every tracked markdown file:
 
 1. **Python blocks compile.**  Every ```` ```python ```` fence must be
    valid syntax (doctest-style blocks are converted via
@@ -16,13 +16,23 @@ Three mechanical checks over every tracked markdown file:
    ``build_parser()`` itself, the single source of truth.
 3. **Relative links resolve.**  Every ``[text](path)`` markdown link that
    is not an URL or pure anchor must point at an existing file.
+4. **The schema/telemetry reference matches the code.**  The field
+   tables in ``docs/reference.md`` are compared against the live
+   dataclasses (`engine/telemetry.py` events, `engine/types.py`'s
+   ``RepairReport``, `engine/results.py`'s ``CaseResult``): a field the
+   doc lists but the class lacks — or the reverse — is an error.  With
+   ``--strict``, the reference must also be *complete*: every telemetry
+   event class and both result dataclasses need a documented table, and
+   every versioned schema id the artifacts use must appear.
 
-Run:  python tools/check_docs.py          # checks the default doc set
-      python tools/check_docs.py FILE...  # checks specific files
+Run:  python tools/check_docs.py            # checks the default doc set
+      python tools/check_docs.py FILE...    # checks specific files
+      python tools/check_docs.py --strict … # + reference completeness
 """
 
 from __future__ import annotations
 
+import dataclasses
 import doctest
 import pathlib
 import re
@@ -121,6 +131,94 @@ def check_bash_block(content: str, cli_options: dict[str, set[str]]):
     return errors
 
 
+_REFERENCE_DOC = "reference.md"
+
+#: Markdown heading announcing a validated field table: any ``###``
+#: heading whose *last* backticked word names one of the classes below.
+_SECTION_RE = re.compile(r"^###\s.*`(\w+)`\s*$")
+_TABLE_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+
+def _documented_dataclasses() -> dict[str, type]:
+    """Class name -> dataclass for every type the reference documents."""
+    from repro.engine import results, telemetry, types
+
+    classes = {cls.__name__: cls for cls in (
+        telemetry.EngineStarted, telemetry.EngineFinished,
+        telemetry.CaseStarted, telemetry.CaseFinished,
+        telemetry.RoundFinished, telemetry.MemberFinished,
+        telemetry.CacheQueried)}
+    classes["RepairReport"] = types.RepairReport
+    classes["CaseResult"] = results.CaseResult
+    return classes
+
+
+def _current_schema_ids() -> list[str]:
+    from repro.engine.cache import CACHE_SCHEMA
+    from repro.miri import FINGERPRINT_VERSION
+
+    ids = [CACHE_SCHEMA, FINGERPRINT_VERSION]
+    # The campaign schema lives in campaign.py's to_dict; the bench
+    # schemas in the benchmark scripts.  Read them from the source so the
+    # checker cannot drift from a rename.
+    campaign = (ROOT / "src/repro/engine/campaign.py").read_text(
+        encoding="utf-8")
+    ids += re.findall(r'"(repro\.campaign/\d+)"', campaign)
+    for script in ("benchmarks/perf_smoke.py", "benchmarks/ensemble_smoke.py"):
+        text = (ROOT / script).read_text(encoding="utf-8")
+        ids += re.findall(r'"(repro\.bench_\w+/\d+)"', text)
+    return sorted(set(ids))
+
+
+def _reference_sections(text: str) -> dict[str, list[str]]:
+    """Documented class name -> field names from its markdown table."""
+    known = _documented_dataclasses()
+    sections: dict[str, list[str]] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            match = _SECTION_RE.match(stripped)
+            name = match.group(1) if match else None
+            current = name if name in known else None
+            continue
+        if current is None:
+            continue
+        row = _TABLE_ROW_RE.match(stripped)
+        if row and row.group(1) != "field":
+            sections.setdefault(current, []).append(row.group(1))
+    return sections
+
+
+def check_reference(text: str, strict: bool = False) -> list[str]:
+    """Validate the schema/telemetry reference against the live classes."""
+    classes = _documented_dataclasses()
+    sections = _reference_sections(text)
+    errors: list[str] = []
+    for name, documented in sections.items():
+        actual = [f.name for f in dataclasses.fields(classes[name])]
+        missing = sorted(set(actual) - set(documented))
+        stale = sorted(set(documented) - set(actual))
+        if missing:
+            errors.append(f"{name}: undocumented field(s) "
+                          f"{', '.join(missing)}")
+        if stale:
+            errors.append(f"{name}: documents nonexistent field(s) "
+                          f"{', '.join(stale)}")
+        duplicates = sorted({f for f in documented
+                             if documented.count(f) > 1})
+        if duplicates:
+            errors.append(f"{name}: field(s) listed twice: "
+                          f"{', '.join(duplicates)}")
+    if strict:
+        for name in sorted(set(classes) - set(sections)):
+            errors.append(f"{name}: no documented field table")
+        for schema_id in _current_schema_ids():
+            if schema_id not in text:
+                errors.append(f"schema id {schema_id!r} is not documented")
+    return errors
+
+
 def check_links(path: pathlib.Path, text: str):
     """Every relative markdown link must resolve from the file's parent."""
     errors = []
@@ -134,7 +232,8 @@ def check_links(path: pathlib.Path, text: str):
 
 
 def check_file(path: pathlib.Path,
-               cli_options: dict[str, set[str]] | None = None) -> list[str]:
+               cli_options: dict[str, set[str]] | None = None,
+               strict: bool = False) -> list[str]:
     """All errors for one markdown file, each prefixed with its location."""
     cli_options = cli_options if cli_options is not None else _cli_options()
     text = path.read_text(encoding="utf-8")
@@ -147,6 +246,9 @@ def check_file(path: pathlib.Path,
         elif language in ("bash", "sh", "shell", "console"):
             errors.extend(f"{path}:{line}: {error}"
                           for error in check_bash_block(content, cli_options))
+    if path.name == _REFERENCE_DOC:
+        errors.extend(f"{path}: {error}"
+                      for error in check_reference(text, strict=strict))
     return errors
 
 
@@ -157,16 +259,23 @@ def default_doc_paths() -> list[pathlib.Path]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    argv = list(sys.argv[1:] if argv is None else argv)
+    strict = "--strict" in argv
+    argv = [arg for arg in argv if arg != "--strict"]
     paths = ([pathlib.Path(arg) for arg in argv] if argv
              else default_doc_paths())
+    if strict and not any(path.name == _REFERENCE_DOC for path in paths):
+        print(f"--strict requires {_REFERENCE_DOC} in the checked set",
+              file=sys.stderr)
+        return 1
     cli_options = _cli_options()
     errors = []
     for path in paths:
-        errors.extend(check_file(path, cli_options))
+        errors.extend(check_file(path, cli_options, strict=strict))
     for error in errors:
         print(error, file=sys.stderr)
-    print(f"checked {len(paths)} docs: "
+    print(f"checked {len(paths)} docs"
+          f"{' (strict)' if strict else ''}: "
           f"{'OK' if not errors else f'{len(errors)} problem(s)'}")
     return 1 if errors else 0
 
