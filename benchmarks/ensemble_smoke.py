@@ -208,7 +208,7 @@ def _verification_checks() -> tuple[dict, dict]:
                                seed=CHECK_SEED)
         outcomes[flag] = [engine.repair(case.source, case.difficulty)
                           for case in cases]
-        runs[flag] = DETECTOR_STATS.runs
+        runs[flag] = DETECTOR_STATS.snapshot()["runs"]
     # A scored campaign exercises the other amortization layers too (the
     # exec-metric trace memo and batched scoring): strictly more
     # verification requests answered than interpreters executed.
@@ -216,7 +216,8 @@ def _verification_checks() -> tuple[dict, dict]:
     campaign = ensemble_campaign(dataset, seed=CHECK_SEED,
                                  executor="serial",
                                  arms=("gpt-4", "cascade")).run()
-    requests, executed = DETECTOR_STATS.requests, DETECTOR_STATS.runs
+    counters = DETECTOR_STATS.snapshot()
+    requests, executed = counters["requests"], counters["runs"]
     scored = sum(len(arm.reports) for arm in campaign.arms)
     checks = {
         "batch_verify_outcomes_identical": outcomes["on"] == outcomes["off"],
@@ -266,13 +267,8 @@ def _fingerprint_checks() -> tuple[dict, dict]:
                                        arms=FINGERPRINT_ARMS[mode]).run()
         finally:
             CASE_MEMO.enabled = True
-        runs[mode] = DETECTOR_STATS.runs
-        stats[mode] = {
-            "requests": DETECTOR_STATS.requests,
-            "runs": DETECTOR_STATS.runs,
-            "fingerprint_hits": DETECTOR_STATS.fingerprint_hits,
-            "case_memo_hits": DETECTOR_STATS.case_memo_hits,
-        }
+        stats[mode] = DETECTOR_STATS.snapshot()
+        runs[mode] = stats[mode]["runs"]
         payloads[mode] = [
             _strip_member_specs(report.to_dict())
             for arm in result.arms for report in arm.reports]
@@ -288,6 +284,7 @@ def _fingerprint_checks() -> tuple[dict, dict]:
     pairs = [(case.source, case.source + "\n// fingerprint probe\n")
              for case in dataset]
     reports = detect_ub_batch([source for pair in pairs for source in pair])
+    probe = DETECTOR_STATS.snapshot()
     verdicts = [(r.passed, [e.kind.value for e in r.errors],
                  list(r.stdout)) for r in reports]
     normalized_identical = all(verdicts[i] == verdicts[i + 1]
@@ -296,9 +293,8 @@ def _fingerprint_checks() -> tuple[dict, dict]:
     # hit, and every request by a run or a hit (two corpus cases that
     # are themselves renaming-equivalent only shift runs into hits).
     normalized_once = (
-        DETECTOR_STATS.fingerprint_hits >= len(pairs)
-        and DETECTOR_STATS.runs + DETECTOR_STATS.fingerprint_hits
-        == 2 * len(pairs))
+        probe["fingerprint_hits"] >= len(pairs)
+        and probe["runs"] + probe["fingerprint_hits"] == 2 * len(pairs))
 
     cases = len(dataset) * len(FINGERPRINT_ARMS["on"])
     checks = {
@@ -317,8 +313,7 @@ def _fingerprint_checks() -> tuple[dict, dict]:
         "runs_per_case_fingerprint_off": round(runs["off"] / cases, 3),
         "runs_per_case_fingerprint_on": round(runs["on"] / cases, 3),
         "normalized_probe_pairs": len(pairs),
-        "normalized_probe_fingerprint_hits":
-            DETECTOR_STATS.fingerprint_hits,
+        "normalized_probe_fingerprint_hits": probe["fingerprint_hits"],
     }
     return checks, summary
 

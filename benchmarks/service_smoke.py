@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Repair-service smoke: the asyncio front door, with hard gates.
+
+Stages, one artifact (``BENCH_service.json``, schema
+``repro.bench_service/1`` — see docs/reference.md):
+
+1. **Identity**: for every case in a UNINIT subset and for both a fast
+   (``llm_only``) and a composite (``cascade``) arm, a ``POST /repair``
+   round-trip returns a report byte-identical to the one a batch
+   :class:`~repro.engine.campaign.Campaign` produces for the same
+   ``(spec, seed, source)`` — serving is a transport, not a fork of the
+   execution semantics.
+2. **Duplicate-heavy load**: waves of identical concurrent requests per
+   case against a cache-backed server.  Records sustained RPS and
+   p50/p99 latency, and gates that in-flight duplicates coalesce
+   (hit rate > 0), that a repeat round is answered from the shared
+   :class:`~repro.engine.cache.ResultCache`, and that every duplicate
+   receives the same report bytes as its leader.
+3. **Admission**: a tight token bucket answers the burst overflow with
+   429 + ``Retry-After``; a one-deep queue with a deliberately slowed
+   worker answers saturation with 503 + ``Retry-After``.  (The slow
+   executor is confined to this stage — admission is bucket/queue math,
+   not engine throughput.)
+4. **Shutdown**: after ``stop()`` on every server above, the injected
+   :class:`~repro.engine.pool.ExecutorService`'s core budget reads
+   ``in_use == 0`` — the lifetime worker-pool leases are released, zero
+   leaked.
+
+Wall-clock numbers (RPS, latency) are environment-dependent and NOT
+asserted; the ``checks`` block is a set of hard gates and the script
+exits non-zero if any fails.
+
+Run:  PYTHONPATH=src python benchmarks/service_smoke.py \
+          [--quick] [OUTPUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+from repro.corpus.dataset import Dataset, load_dataset
+from repro.engine import Campaign, ResultCache
+from repro.engine.pool import CoreBudget, ExecutorService
+from repro.miri.errors import UbKind
+from repro.service import client, jobs
+from repro.service.server import RepairServer
+
+SCHEMA = "repro.bench_service/1"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_service.json"
+
+HOST = "127.0.0.1"
+CHECK_SEED = 3
+#: Identity + load subset: one category keeps the serial reference run
+#: (two arms × every case) fast enough for CI.
+CHECK_CATEGORIES = [UbKind.UNINIT]
+IDENTITY_ARMS = ("llm_only", "cascade")
+
+
+def _payload(case, index: int, *, engine: str, **extra) -> dict:
+    payload = {"source": case.source, "engine": engine,
+               "seed": CHECK_SEED, "index": index, "name": case.name,
+               "difficulty": case.difficulty,
+               "category": case.category.value,
+               "reference_source": case.fixed_source}
+    payload.update(extra)
+    return payload
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _identity_stage(cases, service) -> tuple[dict, dict]:
+    """Batch campaign vs per-case POSTs: byte-compare every report."""
+    dataset = Dataset(tuple(cases))
+    campaign = Campaign(list(IDENTITY_ARMS), dataset, seed=CHECK_SEED,
+                        executor="serial").run()
+    # campaign.arms preserves the order of the arm list it was given;
+    # arm labels differ from spec strings (llm_only → bare model name).
+    batch = {spec: [report.to_dict() for report in arm.reports]
+             for spec, arm in zip(IDENTITY_ARMS, campaign.arms)}
+
+    served: dict[str, list] = {arm: [] for arm in IDENTITY_ARMS}
+    server = RepairServer(host=HOST, port=0, executor_service=service)
+    await server.start()
+    try:
+        for arm in IDENTITY_ARMS:
+            for index, case in enumerate(cases):
+                response = await client.post_repair(
+                    HOST, server.port, _payload(case, index, engine=arm))
+                if response.status != 200:
+                    raise RuntimeError(f"identity POST failed: "
+                                       f"{response.status} {response.json()}")
+                served[arm].append(response.json()["report"])
+    finally:
+        await server.stop()
+
+    matches = {arm: json.dumps(served[arm], sort_keys=True)
+               == json.dumps(batch[arm], sort_keys=True)
+               for arm in IDENTITY_ARMS}
+    checks = {"service_reports_byte_identical_to_batch":
+              all(matches.values())}
+    summary = {"arms": list(IDENTITY_ARMS), "cases": len(cases),
+               "requests": len(cases) * len(IDENTITY_ARMS),
+               "matches": matches}
+    return checks, summary
+
+
+async def _load_stage(cases, service, duplicates: int) -> tuple[dict, dict]:
+    """Duplicate-heavy waves against a cache-backed server."""
+    latencies: list[float] = []
+
+    async def timed_post(server, payload):
+        start = time.perf_counter()
+        response = await client.post_repair(HOST, server.port, payload)
+        latencies.append(time.perf_counter() - start)
+        return response
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        server = RepairServer(host=HOST, port=0, rate=0.0,
+                              max_queue=max(32, duplicates * len(cases)),
+                              cache=ResultCache(tmp),
+                              executor_service=service)
+        await server.start()
+        try:
+            wall_start = time.perf_counter()
+            divergent = []  # duplicates whose report differed from leader's
+            # Wave 1: per case, `duplicates` identical concurrent posts —
+            # one execution, the rest coalesce onto it (or hit the cache
+            # if they land after it finished).
+            for index, case in enumerate(cases):
+                payload = _payload(case, index, engine="rustbrain?kb=off")
+                responses = await asyncio.gather(*(
+                    timed_post(server, payload) for _ in range(duplicates)))
+                bodies = [response.json() for response in responses]
+                if any(response.status != 200 for response in responses):
+                    raise RuntimeError(f"load POST failed: {bodies}")
+                reports = {json.dumps(body["report"], sort_keys=True)
+                           for body in bodies}
+                if len(reports) != 1:
+                    divergent.append(case.name)
+            # Wave 2: the same requests again, sequentially — nothing is
+            # in flight anymore, so these exercise the cache tier.
+            for index, case in enumerate(cases):
+                payload = _payload(case, index, engine="rustbrain?kb=off")
+                response = await timed_post(server, payload)
+                if response.status != 200:
+                    raise RuntimeError(f"cache POST failed: "
+                                       f"{response.json()}")
+            wall = time.perf_counter() - wall_start
+            stats = server.stats()
+        finally:
+            await server.stop()
+
+    requests = len(latencies)
+    ordered = sorted(latencies)
+    coalescing = stats["coalescing"]
+    cache = stats["cache"]
+    checks = {
+        "load_duplicates_coalesce": coalescing["hit_rate"] > 0,
+        "load_repeat_round_hits_cache": cache["hits"] >= len(cases),
+        "load_duplicate_reports_identical": not divergent,
+        "load_no_rejections_or_failures":
+            stats["counters"]["rejected_rate"] == 0
+            and stats["counters"]["rejected_queue"] == 0
+            and stats["counters"]["failed"] == 0,
+    }
+    summary = {
+        "cases": len(cases),
+        "duplicates_per_case": duplicates,
+        "requests": requests,
+        "wall_seconds": round(wall, 4),
+        "rps": round(requests / wall, 2) if wall else 0.0,
+        "latency_p50_ms": round(1000 * _percentile(ordered, 0.50), 3),
+        "latency_p99_ms": round(1000 * _percentile(ordered, 0.99), 3),
+        "coalesced": coalescing["attached"],
+        "executions": coalescing["executions"],
+        "coalescing_hit_rate": round(coalescing["hit_rate"], 4),
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
+        "divergent_duplicates": divergent,
+    }
+    return checks, summary
+
+
+class _SlowExecutor:
+    """Stage-3 stand-in for ``jobs.execute_repair``: holds every job on
+    an event so queue depth is under test control, then delegates."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self._real = jobs.execute_repair
+
+    def __call__(self, config, *, cache=None, observer=None):
+        self.release.wait(timeout=30)
+        return self._real(config, cache=cache, observer=observer)
+
+
+async def _admission_stage(cases, service) -> tuple[dict, dict]:
+    """Deterministic 429 (token bucket) and 503 (bounded queue) paths."""
+    # 429: burst of 2, then the third request from the same client must
+    # be turned away with Retry-After advice.
+    server = RepairServer(host=HOST, port=0, rate=0.5, burst=2.0,
+                          executor_service=service)
+    await server.start()
+    try:
+        statuses = []
+        retry_after_429 = None
+        for _ in range(3):
+            response = await client.post_repair(
+                HOST, server.port,
+                _payload(cases[0], 0, engine="rustbrain?kb=off",
+                         wait=False),
+                client_id="smoke-burst")
+            statuses.append(response.status)
+            if response.status == 429:
+                retry_after_429 = response.retry_after
+        rate_stats = server.stats()
+    finally:
+        await server.stop()
+
+    # 503: one worker held on an event, a one-deep queue — the third
+    # distinct submission has nowhere to go.
+    slow = _SlowExecutor()
+    real = jobs.execute_repair
+    jobs.execute_repair = slow
+    try:
+        server = RepairServer(host=HOST, port=0, rate=0.0, workers=1,
+                              max_queue=1, executor_service=service)
+        await server.start()
+        try:
+            overflow = []
+            retry_after_503 = None
+            for index in range(3):
+                response = await client.post_repair(
+                    HOST, server.port,
+                    _payload(cases[index % len(cases)], index,
+                             engine="rustbrain?kb=off", wait=False))
+                overflow.append(response.status)
+                if response.status == 503:
+                    retry_after_503 = response.retry_after
+            slow.release.set()
+            queue_stats = server.stats()
+        finally:
+            await server.stop()
+    finally:
+        jobs.execute_repair = real
+
+    checks = {
+        "admission_burst_overflow_gets_429":
+            statuses == [202, 202, 429] and retry_after_429 is not None
+            and int(retry_after_429) >= 1,
+        "admission_queue_overflow_gets_503":
+            overflow == [202, 202, 503] and retry_after_503 is not None
+            and int(retry_after_503) >= 1,
+    }
+    summary = {
+        "burst_statuses": statuses,
+        "retry_after_429_seconds": retry_after_429,
+        "rate_limited": rate_stats["counters"]["rejected_rate"],
+        "queue_statuses": overflow,
+        "retry_after_503_seconds": retry_after_503,
+        "queue_rejected": queue_stats["counters"]["rejected_queue"],
+    }
+    return checks, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", type=pathlib.Path,
+                        default=DEFAULT_OUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="trim the load stage for CI (fewer cases, "
+                             "smaller duplicate waves)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    dataset = load_dataset().subset(CHECK_CATEGORIES)
+    cases = list(dataset)
+    if args.quick:
+        cases = cases[:3]
+    duplicates = 4 if args.quick else 6
+
+    # One injected executor across every stage: its budget must read
+    # zero leases after the final stop() for the shutdown gate to pass.
+    service = ExecutorService(budget=CoreBudget(4))
+    wall_seconds = {}
+    try:
+        async def stages():
+            results = {}
+            start = time.perf_counter()
+            results["identity"] = await _identity_stage(cases, service)
+            wall_seconds["identity"] = round(time.perf_counter() - start, 4)
+            start = time.perf_counter()
+            results["load"] = await _load_stage(cases, service, duplicates)
+            wall_seconds["load"] = round(time.perf_counter() - start, 4)
+            start = time.perf_counter()
+            results["admission"] = await _admission_stage(cases, service)
+            wall_seconds["admission"] = round(time.perf_counter() - start, 4)
+            return results
+
+        results = asyncio.run(stages())
+        leases_in_use = service.budget.in_use
+    finally:
+        service.shutdown()
+
+    checks = {}
+    payload = {"schema": SCHEMA,
+               "config": {"seed": CHECK_SEED,
+                          "categories": sorted(c.value
+                                               for c in CHECK_CATEGORIES),
+                          "cases": len(cases),
+                          "duplicates_per_case": duplicates,
+                          "quick": args.quick}}
+    for stage, (stage_checks, stage_summary) in results.items():
+        checks.update(stage_checks)
+        payload[stage] = stage_summary
+    checks["shutdown_zero_leaked_leases"] = leases_in_use == 0
+    payload["shutdown"] = {"budget_total": 4,
+                           "leases_in_use_after_stop": leases_in_use}
+    payload["wall_seconds"] = wall_seconds
+    payload["checks"] = checks
+
+    out_path = args.output
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}")
+    load = payload["load"]
+    print(f"  load: {load['requests']} requests at {load['rps']} rps, "
+          f"p50={load['latency_p50_ms']}ms p99={load['latency_p99_ms']}ms")
+    print(f"  coalescing: {load['coalesced']} attached to "
+          f"{load['executions']} executions "
+          f"(hit rate {load['coalescing_hit_rate']}); "
+          f"cache hits {load['cache_hits']}")
+    print(f"  checks: {checks}")
+    if not all(checks.values()):
+        print("service smoke FAILED gates", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Subcommands::
     repro engines                        # list registered repair engines
     repro campaign --engine SPEC ...     # sweep engine arms over the corpus
     repro bench    NAME                  # regenerate one paper artifact
+    repro serve    [--host H --port P]   # repair-as-a-service HTTP front door
 
 Engine specs are ``name?key=value&...`` strings, e.g.
 ``rustbrain?kb=off&rollback=none&temperature=0.2`` — see
@@ -80,9 +81,44 @@ def _warn_spec_overrides(spec_text: str, args: argparse.Namespace,
               "kb setting", file=sys.stderr)
 
 
+def _run_with_deadline(engine, source: str, timeout_seconds: float | None):
+    """Run ``engine.repair`` bounded by a wall-clock deadline.
+
+    The repair call is synchronous, so the deadline runs it on a daemon
+    thread and abandons it on expiry (returning ``None``) — the same
+    bounded-client-wait semantics as the server's per-request deadline,
+    and no join with the shared executor service at exit.
+    """
+    if timeout_seconds is None:
+        return engine.repair(source)
+    import threading
+    box: dict = {}
+
+    def work() -> None:
+        try:
+            box["outcome"] = engine.repair(source)
+        except BaseException as exc:  # re-raised on the main thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=work, daemon=True)
+    thread.start()
+    thread.join(timeout_seconds)
+    if thread.is_alive():
+        return None
+    if "error" in box:
+        raise box["error"]
+    return box["outcome"]
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
     from .engine import UnknownEngineError, create_engine
     from .engine.spec import SpecError
+    from .service.jobs import RequestError, validate_timeout_seconds
+    try:
+        timeout_seconds = validate_timeout_seconds(args.timeout_seconds)
+    except RequestError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     try:
         source = _read_source(args.file)
     except _SourceReadError as exc:
@@ -106,7 +142,10 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     except (SpecError, UnknownEngineError, ValueError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
-    outcome = engine.repair(source)
+    outcome = _run_with_deadline(engine, source, timeout_seconds)
+    if outcome is None:
+        print(f"== repair FAILED: timed out after {timeout_seconds:g}s ==")
+        return 1
     if outcome.passed and outcome.repaired_source:
         print("== repair PASSED Miri ==")
         print(f"-- {outcome.solutions_tried} solutions, "
@@ -228,6 +267,59 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .engine import ResultCache
+    from .service.jobs import RequestError, validate_timeout_seconds
+    from .service.server import RepairServer
+    try:
+        timeout_seconds = validate_timeout_seconds(args.timeout_seconds)
+    except RequestError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir:
+            try:
+                cache = ResultCache(cache_dir)
+            except OSError as exc:
+                detail = exc.strerror or str(exc)
+                print(f"repro: cannot use cache dir {cache_dir!r}: {detail}",
+                      file=sys.stderr)
+                return 2
+    try:
+        server = RepairServer(host=args.host, port=args.port,
+                              workers=args.workers,
+                              max_queue=args.max_queue,
+                              rate=args.rate_limit, burst=args.burst,
+                              cache=cache,
+                              default_timeout_seconds=timeout_seconds)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+
+    async def main() -> None:
+        await server.start()
+        print(f"repro serve: listening on http://{server.host}:{server.port}"
+              f" ({server.workers} workers, queue {server.max_queue})",
+              file=sys.stderr, flush=True)
+        try:
+            await server.serve()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro serve: shut down", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import figures
     from .bench.reporting import category_label, render_table
@@ -302,6 +394,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--seed", type=int, default=_ARG_DEFAULTS["seed"])
     p_repair.add_argument("--no-kb", action="store_true",
                           help="shorthand for kb=off")
+    p_repair.add_argument("--timeout-seconds", default=None, metavar="S",
+                          help="abandon the repair after S wall-clock "
+                               "seconds (exit 1); shares the server's "
+                               "per-request deadline validation")
     p_repair.set_defaults(fn=_cmd_repair)
 
     p_dataset = sub.add_parser("dataset", help="list the UB corpus")
@@ -352,6 +448,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="regenerate a paper artifact")
     p_bench.add_argument("name")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve single-case repairs over HTTP/JSON")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8357,
+                         help="0 picks an ephemeral port")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="concurrent repairs (default: min(4, core "
+                              "budget); clamped to the budget either way)")
+    p_serve.add_argument("--max-queue", type=int, default=32,
+                         help="bounded admission queue depth (503 past it)")
+    p_serve.add_argument("--rate-limit", type=float, default=10.0,
+                         metavar="RPS",
+                         help="per-client token-bucket refill rate "
+                              "(requests/second; 0 disables)")
+    p_serve.add_argument("--burst", type=float, default=20.0,
+                         help="per-client token-bucket capacity")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="read-through result cache (default: "
+                              "$REPRO_CACHE_DIR when set)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache even when "
+                              "REPRO_CACHE_DIR is set")
+    p_serve.add_argument("--timeout-seconds", default=None, metavar="S",
+                         help="default per-request deadline (clients may "
+                              "override per request)")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

@@ -55,7 +55,7 @@ def _traces(sources: tuple[str, ...]) -> list[tuple[bool, tuple[str, ...]]]:
     # Questions answered without reaching detect_ub_batch (memo hits and
     # in-call duplicates) still count as requests; ``runs`` alone reflects
     # the amortization.
-    DETECTOR_STATS.requests += len(sources) - len(missing)
+    DETECTOR_STATS.record(requests=len(sources) - len(missing))
     return [fresh.get(fingerprint) or _TRACE_MEMO[fingerprint]
             for fingerprint in fingerprints]
 

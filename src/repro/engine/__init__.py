@@ -20,7 +20,7 @@ registry imports those modules lazily on first lookup.
 from .cache import (CACHE_EPOCH, CACHE_SCHEMA, ResultCache, arm_key,
                     case_key, fingerprint_case, fingerprint_dataset)
 from .campaign import (EXECUTORS, ArmRun, Campaign, CampaignResult,
-                       case_seed, run_cases)
+                       case_seed, hoist_pinned_seed, run_cases)
 from .pool import (EXECUTOR_SERVICE, POOL_KINDS, CoreBudget,
                    ExecutorService)
 from .ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS, MEMBER_EXECUTORS,

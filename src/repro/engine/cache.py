@@ -35,6 +35,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 
 from .types import RepairReport
 
@@ -106,6 +107,12 @@ class ResultCache:
 
     Values are *lists* of reports: length one for per-case entries, the
     full dataset-ordered sweep for arm entries.
+
+    Safe for concurrent use from multiple threads: the in-memory layer and
+    the hit/miss counters are lock-guarded (the disk layer was always safe
+    — atomic writes plus identical-bytes racers), and :meth:`counts` gives
+    an internally consistent view for telemetry endpoints.  Disk I/O
+    happens outside the lock, so a slow read never serializes other keys.
     """
 
     def __init__(self, root: str | os.PathLike):
@@ -113,6 +120,7 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
         #: Per-process read-through layer; disk stays the source of truth.
         self._memory: dict[str, list[RepairReport]] = {}
         # A worker killed between mkstemp and os.replace leaves a ``*.tmp``
@@ -131,10 +139,11 @@ class ResultCache:
 
     def get(self, key: str) -> list[RepairReport] | None:
         """The cached reports for ``key``, or ``None`` on a miss."""
-        cached = self._memory.get(key)
-        if cached is not None:
-            self.hits += 1
-            return list(cached)
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.hits += 1
+                return list(cached)
         try:
             payload = json.loads(self._path(key).read_text(encoding="utf-8"))
             if payload.get("schema") != CACHE_SCHEMA:
@@ -143,10 +152,12 @@ class ResultCache:
                        for entry in payload["reports"]]
         except (OSError, ValueError, KeyError, TypeError):
             # Missing, corrupt, or from an incompatible schema: recompute.
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self._memory[key] = list(reports)
-        self.hits += 1
+        with self._lock:
+            self._memory[key] = list(reports)
+            self.hits += 1
         return reports
 
     def put(self, key: str, reports: list[RepairReport]) -> None:
@@ -158,7 +169,15 @@ class ResultCache:
              "reports": [report.to_dict() for report in reports]},
             sort_keys=True)
         self._write_atomic(path, payload)
-        self._memory[key] = list(reports)
+        with self._lock:
+            self._memory[key] = list(reports)
+
+    def counts(self) -> dict:
+        """Internally consistent ``{hits, misses, memory_entries}`` view —
+        what the service's ``/stats`` endpoint publishes."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "memory_entries": len(self._memory)}
 
     def _write_atomic(self, path: pathlib.Path, payload: str) -> None:
         last_error: OSError | None = None
@@ -206,6 +225,7 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 entry.unlink()
         self._sweep_tmp()
-        self._memory.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0

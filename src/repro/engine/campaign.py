@@ -77,6 +77,30 @@ def case_seed(campaign_seed: int, index: int) -> int:
     return campaign_seed * _CASE_SEED_STRIDE + index
 
 
+def hoist_pinned_seed(spec: EngineSpec,
+                      campaign_seed: int) -> tuple[int, EngineSpec]:
+    """Hoist a spec-pinned ``seed`` into the arm's base seed.
+
+    Per-case derivation must stay in effect — otherwise
+    ``rustbrain?seed=7`` would run every case with literally seed 7,
+    fully correlating the samples.  The pinned value replaces the
+    campaign seed as the derivation base, and the param is stripped
+    from the spec used to build engines (the original spec, label
+    included, is what gets reported and what keys the cache).
+
+    Shared by :class:`Campaign` and the repair service so the same
+    ``(spec, seed, case index)`` always resolves to the same engine
+    seeding regardless of which front door ran it.
+    """
+    kwargs = spec.factory_kwargs()
+    if "seed" not in kwargs:
+        return campaign_seed, spec
+    stripped = EngineSpec(spec.name,
+                          tuple((key, value) for key, value in spec.params
+                                if key != "seed"))
+    return kwargs["seed"], stripped
+
+
 def run_cases(engine, dataset: Dataset, label: str) -> SystemResults:
     """Serial sweep of one *shared* engine instance over a dataset.
 
@@ -295,22 +319,9 @@ class Campaign:
         return self.workers > 1 and self.executor != "serial"
 
     def _arm_seeding(self, spec: EngineSpec) -> tuple[int, EngineSpec]:
-        """Hoist a spec-pinned ``seed`` into the arm's base seed.
-
-        Per-case derivation must stay in effect — otherwise
-        ``rustbrain?seed=7`` would run every case with literally seed 7,
-        fully correlating the samples.  The pinned value replaces the
-        campaign seed as the derivation base, and the param is stripped
-        from the spec used to build engines (the original spec, label
-        included, is what gets reported).
-        """
-        kwargs = spec.factory_kwargs()
-        if "seed" not in kwargs:
-            return self.seed, spec
-        stripped = EngineSpec(spec.name,
-                              tuple((key, value) for key, value in spec.params
-                                    if key != "seed"))
-        return kwargs["seed"], stripped
+        """See :func:`hoist_pinned_seed` (the arm base is the campaign
+        seed unless the spec pins its own)."""
+        return hoist_pinned_seed(spec, self.seed)
 
     def _run_case(self, spec: EngineSpec, label: str, base_seed: int,
                   index: int, case, total: int, engine=None) -> RepairReport:

@@ -36,7 +36,7 @@ for one interpretation between them.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..lang import ast_nodes as ast
 from ..lang.parser import ParseError, parse_program
@@ -57,21 +57,48 @@ class DetectorStats:
     requests answered through normalized-fingerprint dedup specifically
     (a strict subset of the gap — exact-text dedup and the memos account
     for the rest), and ``case_memo_hits`` the requests answered by the
-    process-wide :data:`CASE_MEMO`.  Plain counters under the GIL —
-    exact in the serial benchmark harnesses that read them, best-effort
-    under concurrent member consultation.
+    process-wide :data:`CASE_MEMO`.
+
+    Counters are lock-guarded: every bump goes through :meth:`record`, so
+    concurrent detector calls (ensemble member waves, the repair
+    service's worker threads) never lose increments, and
+    :meth:`snapshot` returns an internally consistent view — the
+    service's ``/stats`` endpoint and the benchmark harnesses read
+    through it instead of racing the raw attributes.
     """
 
     requests: int = 0
     runs: int = 0
     fingerprint_hits: int = 0
     case_memo_hits: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record(self, *, requests: int = 0, runs: int = 0,
+               fingerprint_hits: int = 0, case_memo_hits: int = 0) -> None:
+        """Atomically add to any subset of the counters."""
+        with self._lock:
+            self.requests += requests
+            self.runs += runs
+            self.fingerprint_hits += fingerprint_hits
+            self.case_memo_hits += case_memo_hits
+
+    def snapshot(self) -> dict:
+        """An internally consistent copy of every counter."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "runs": self.runs,
+                "fingerprint_hits": self.fingerprint_hits,
+                "case_memo_hits": self.case_memo_hits,
+            }
 
     def reset(self) -> None:
-        self.requests = 0
-        self.runs = 0
-        self.fingerprint_hits = 0
-        self.case_memo_hits = 0
+        with self._lock:
+            self.requests = 0
+            self.runs = 0
+            self.fingerprint_hits = 0
+            self.case_memo_hits = 0
 
 
 #: The process-wide counter instance every detector call updates.
@@ -96,7 +123,7 @@ def _detect(source: str | ast.Program, collect: bool, max_errors: int,
             return report
     else:
         program = source
-    DETECTOR_STATS.runs += 1
+    DETECTOR_STATS.record(runs=1)
     return run_program(program, collect=collect, max_errors=max_errors,
                        fuel=fuel, debug=debug)
 
@@ -112,7 +139,7 @@ def detect_ub(source: str | ast.Program, *, collect: bool = False,
     RustBrain's rollback mechanism a meaningful per-iteration error *count*
     (the ``n_i`` sequences of §III-B2).
     """
-    DETECTOR_STATS.requests += 1
+    DETECTOR_STATS.record(requests=1)
     return _detect(source, collect, max_errors, fuel, debug)
 
 
@@ -143,7 +170,7 @@ def detect_ub_batch(sources, *, collect: bool = False, max_errors: int = 8,
     fp_memo: dict[str, MiriReport] = {}
     reports: list[MiriReport] = []
     for source in sources:
-        DETECTOR_STATS.requests += 1
+        DETECTOR_STATS.record(requests=1)
         if not isinstance(source, str):
             reports.append(_detect(source, collect, max_errors, fuel, debug))
             continue
@@ -153,7 +180,7 @@ def detect_ub_batch(sources, *, collect: bool = False, max_errors: int = 8,
             continue
         fp = source_fingerprint(source) if fingerprint else None
         if fp is not None and fp in fp_memo:
-            DETECTOR_STATS.fingerprint_hits += 1
+            DETECTOR_STATS.record(fingerprint_hits=1)
             report = fp_memo[fp]
             memo[source] = report
             reports.append(report.copy())
@@ -188,6 +215,13 @@ class CaseMemo:
         with self._lock:
             return len(self._entries)
 
+    def snapshot(self) -> dict:
+        """Lock-guarded view of the memo's state (the ``/stats`` payload):
+        current entry count, capacity, and the master switch."""
+        with self._lock:
+            return {"entries": len(self._entries), "limit": self.limit,
+                    "enabled": self.enabled}
+
     def lookup(self, key: tuple) -> MiriReport | None:
         with self._lock:
             return self._entries.get(key)
@@ -220,7 +254,7 @@ def detect_case(source: str, *, collect: bool = False, max_errors: int = 8,
     construction; only wall-clock interpreter runs drop
     (``DETECTOR_STATS.case_memo_hits`` counts the savings).
     """
-    DETECTOR_STATS.requests += 1
+    DETECTOR_STATS.record(requests=1)
     if not CASE_MEMO.enabled:
         return _detect(source, collect, max_errors, fuel, False)
     key = (source, collect, max_errors, fuel)
@@ -229,7 +263,7 @@ def detect_case(source: str, *, collect: bool = False, max_errors: int = 8,
         report = _detect(source, collect, max_errors, fuel, False)
         CASE_MEMO.store(key, report.copy())
         return report
-    DETECTOR_STATS.case_memo_hits += 1
+    DETECTOR_STATS.record(case_memo_hits=1)
     return report.copy()
 
 
@@ -271,7 +305,7 @@ class BatchVerifier:
         if self.fingerprint:
             report = self._fp_memo.get(source_fingerprint(source))
             if report is not None:
-                DETECTOR_STATS.fingerprint_hits += 1
+                DETECTOR_STATS.record(fingerprint_hits=1)
                 self.fingerprint_hits += 1
                 self._memo[source] = report
                 return report
@@ -311,7 +345,7 @@ class BatchVerifier:
         else:
             # Memo answers are still verification requests; only ``runs``
             # shrinks under batching.
-            DETECTOR_STATS.requests += 1
+            DETECTOR_STATS.record(requests=1)
         return report
 
     def verify_batch(self, sources: list[str]) -> list[MiriReport]:
@@ -329,7 +363,7 @@ class BatchVerifier:
                                     fingerprint=self.fingerprint)):
                 self._store(source, report)
             self.runs += self._batch_size(missing)
-        DETECTOR_STATS.requests += len(sources) - len(missing)
+        DETECTOR_STATS.record(requests=len(sources) - len(missing))
         return [self._memo[source] for source in sources]
 
 

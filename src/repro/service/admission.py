@@ -1,0 +1,106 @@
+"""Admission control primitives: per-client token buckets.
+
+The server's admission layer has two gates — the per-client rate limit
+here (HTTP 429) and the bounded job queue in the server itself (HTTP 503).
+Both answer rejections with ``Retry-After`` so well-behaved clients back
+off instead of hammering.
+
+Everything in this module is loop-confined: the server only touches a
+:class:`RateLimiter` from its event loop, so no locks are needed.  The
+clock is injectable (monotonic seconds) for deterministic tests, mirroring
+``engine/pool.py``'s idle-reap testing seam.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    Starts full, refills continuously, never goes negative.  ``rate``
+    must be positive — a disabled limiter is represented by *no* limiter,
+    not a zero-rate bucket.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if not rate > 0:
+            raise ValueError(f"rate must be > 0, got {rate!r}")
+        if not burst >= 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (and no debit) otherwise."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will have refilled (0 when ready now)."""
+        self._refill()
+        missing = tokens - self._tokens
+        return max(0.0, missing / self.rate)
+
+
+class RateLimiter:
+    """Per-client token buckets with bounded LRU client tracking.
+
+    ``admit(client)`` returns ``0.0`` when the request may proceed, else
+    the seconds the client should wait before retrying (the server turns
+    that into 429 + ``Retry-After``).  The client table is capped: the
+    least-recently-seen client is evicted first, so an open endpoint
+    cannot grow state without bound — a returning evicted client simply
+    starts with a fresh (full) bucket.
+    """
+
+    def __init__(self, rate: float, burst: float, *,
+                 clock=time.monotonic, max_clients: int = 1024):
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def admit(self, client: str) -> float:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            while len(self._buckets) >= self.max_clients:
+                self._buckets.popitem(last=False)
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+        self._buckets.move_to_end(client)
+        if bucket.try_acquire():
+            return 0.0
+        # Never answer a rejection with "retry in 0s".
+        return max(bucket.retry_after(), 1e-3)
+
+    def clients(self) -> int:
+        return len(self._buckets)
+
+
+def retry_after_header(seconds: float) -> str:
+    """``Retry-After`` is whole seconds; always advise at least 1."""
+    return str(max(1, math.ceil(seconds)))

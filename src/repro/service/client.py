@@ -1,0 +1,130 @@
+"""Minimal stdlib async HTTP client for the repair service.
+
+Just enough protocol for the server's dialect — one request per
+connection, JSON bodies, ``Content-Length`` responses, SSE streams —
+shared by the service tests and ``benchmarks/service_smoke.py`` so
+neither grows its own socket plumbing.  Not a general HTTP client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+
+class ServiceResponse:
+    """Status, headers, and decoded JSON body of one exchange."""
+
+    def __init__(self, status: int, headers: dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8")) if self.body else None
+
+    @property
+    def retry_after(self) -> str | None:
+        return self.headers.get("retry-after")
+
+
+async def request(host: str, port: int, method: str, path: str, *,
+                  payload=None, headers: dict[str, str] | None = None
+                  ) -> ServiceResponse:
+    """One HTTP exchange; the connection is closed afterwards."""
+    body = (json.dumps(payload).encode("utf-8")
+            if payload is not None else b"")
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}",
+             "Connection: close"]
+    if body:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+        status, response_headers = await _read_head(reader)
+        length = response_headers.get("content-length")
+        if length is not None:
+            response_body = await reader.readexactly(int(length))
+        else:
+            response_body = await reader.read()
+        return ServiceResponse(status, response_headers, response_body)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _read_head(reader) -> tuple[int, dict[str, str]]:
+    status_line = (await reader.readline()).decode("latin-1")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ValueError(f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def post_repair(host: str, port: int, payload: dict, *,
+                      client_id: str | None = None) -> ServiceResponse:
+    headers = {"X-Client-Id": client_id} if client_id else None
+    return await request(host, port, "POST", "/repair",
+                         payload=payload, headers=headers)
+
+
+async def get_json(host: str, port: int, path: str) -> ServiceResponse:
+    return await request(host, port, "GET", path)
+
+
+async def read_sse(host: str, port: int, path: str
+                   ) -> list[tuple[str, dict]]:
+    """Collect a whole SSE stream (the server ends it at the terminal
+    frame) as ``(event_name, decoded_data)`` tuples."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                      "Connection: close\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        status, _headers = await _read_head(reader)
+        if status != 200:
+            body = await reader.read()
+            raise ValueError(f"SSE request failed: {status} "
+                             f"{body.decode('utf-8', 'replace')}")
+        frames: list[tuple[str, dict]] = []
+        event = None
+        data_lines: list[str] = []
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+            if not line:
+                if event is not None or data_lines:
+                    frames.append((event or "message",
+                                   json.loads("\n".join(data_lines))))
+                event = None
+                data_lines = []
+                continue
+            if line.startswith("event:"):
+                event = line[len("event:"):].strip()
+            elif line.startswith("data:"):
+                data_lines.append(line[len("data:"):].strip())
+        return frames
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

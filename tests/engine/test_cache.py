@@ -1,6 +1,7 @@
 """Result cache: keying, round-trips, invalidation, campaign integration."""
 
 import json
+import threading
 
 import pytest
 
@@ -128,6 +129,85 @@ class TestResultCache:
         assert fresh.exists()
         # Committed entries survive the sweep untouched.
         assert reopened.get(key) == [_report()]
+
+
+class TestConcurrentAccess:
+    """The lock-guarded in-memory layer and the atomic disk writes must
+    survive threads racing the same key (the service's coalescing tier
+    leans on exactly this)."""
+
+    KEY = case_key("llm_only", "gpt-4", 0.5, 7, "fp")
+
+    def test_racing_read_through_same_key(self, cache):
+        # Two threads read-through the same cold key: every answer is the
+        # full entry, and the counters account for every single lookup.
+        expected = [_report()]
+        barrier = threading.Barrier(2)
+        rounds = 50
+        results: list = []
+
+        def read_through():
+            barrier.wait()
+            for _ in range(rounds):
+                reports = cache.get(self.KEY)
+                if reports is None:
+                    cache.put(self.KEY, expected)
+                    reports = cache.get(self.KEY)
+                results.append(reports)
+
+        threads = [threading.Thread(target=read_through) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 2 * rounds
+        assert all(reports == expected for reports in results)
+        counts = cache.counts()
+        assert counts["hits"] + counts["misses"] == \
+            cache.hits + cache.misses
+        assert counts["hits"] >= 2 * rounds - 2  # at most one cold miss each
+        assert counts["memory_entries"] == 1
+
+    def test_put_race_never_serves_torn_entry(self, cache):
+        # A writer re-puts the entry (identical bytes, as racing campaign
+        # workers do) while a reader keeps forcing the disk path; no read
+        # may ever observe a partial or corrupt file.
+        expected = [_report()]
+        cache.put(self.KEY, expected)
+        stop = threading.Event()
+        torn: list = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(self.KEY, expected)
+
+        def reader():
+            try:
+                for _ in range(200):
+                    with cache._lock:
+                        cache._memory.pop(self.KEY, None)
+                    if cache.get(self.KEY) != expected:
+                        torn.append("torn or missing entry")
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert torn == []
+
+    def test_counts_is_a_consistent_snapshot(self, cache):
+        cache.put(self.KEY, [_report()])
+        cache.get(self.KEY)
+        cache.get(case_key("llm_only", "gpt-4", 0.5, 8, "other"))
+        assert cache.counts() == {"hits": 1, "misses": 1,
+                                  "memory_entries": 1}
+        cache.clear()
+        assert cache.counts() == {"hits": 0, "misses": 0,
+                                  "memory_entries": 0}
 
 
 class TestKeying:

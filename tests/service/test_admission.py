@@ -1,0 +1,115 @@
+"""Admission primitives: token buckets and the per-client rate limiter."""
+
+import pytest
+
+from repro.service.admission import (RateLimiter, TokenBucket,
+                                     retry_after_header)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_starts_full(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refills_at_rate(self, clock):
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self, clock):
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == 2.0
+
+    def test_retry_after_matches_refill(self, clock):
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_rejection_does_not_debit(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        before = bucket.tokens
+        assert not bucket.try_acquire()
+        assert bucket.tokens == before
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1, 1), (1, 0)])
+    def test_invalid_parameters_rejected(self, clock, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst, clock=clock)
+
+
+class TestRateLimiter:
+    def test_admits_within_burst_then_rejects(self, clock):
+        limiter = RateLimiter(rate=1.0, burst=2.0, clock=clock)
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admit("alice") > 0.0
+
+    def test_clients_are_independent(self, clock):
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admit("alice") > 0.0
+        assert limiter.admit("bob") == 0.0
+
+    def test_rejected_client_recovers_after_wait(self, clock):
+        limiter = RateLimiter(rate=2.0, burst=1.0, clock=clock)
+        assert limiter.admit("alice") == 0.0
+        wait = limiter.admit("alice")
+        assert wait == pytest.approx(0.5)
+        clock.advance(wait)
+        assert limiter.admit("alice") == 0.0
+
+    def test_rejection_advice_is_never_zero(self, clock):
+        limiter = RateLimiter(rate=1000.0, burst=1.0, clock=clock)
+        assert limiter.admit("alice") == 0.0
+        assert limiter.admit("alice") >= 1e-3
+
+    def test_client_table_is_bounded_lru(self, clock):
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock,
+                              max_clients=2)
+        limiter.admit("a")
+        limiter.admit("b")
+        limiter.admit("a")      # refresh a; b is now oldest
+        limiter.admit("c")      # evicts b
+        assert limiter.clients() == 2
+        # b returns with a fresh bucket (full burst) rather than history.
+        assert limiter.admit("b") == 0.0
+
+    def test_eviction_resets_history(self, clock):
+        limiter = RateLimiter(rate=0.001, burst=1.0, clock=clock,
+                              max_clients=1)
+        assert limiter.admit("a") == 0.0
+        assert limiter.admit("a") > 0.0      # exhausted
+        limiter.admit("b")                   # evicts a
+        assert limiter.admit("a") == 0.0     # fresh bucket
+
+
+class TestRetryAfterHeader:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0.0, "1"), (0.2, "1"), (1.0, "1"), (1.1, "2"), (30.0, "30"),
+    ])
+    def test_whole_seconds_at_least_one(self, seconds, expected):
+        assert retry_after_header(seconds) == expected

@@ -1,0 +1,191 @@
+"""Graceful shutdown: drain in-flight work, 503 the queue, release leases.
+
+Every scenario injects its own :class:`ExecutorService` with a known
+budget so lease accounting can be asserted exactly — the acceptance bar
+is ``budget.in_use == 0`` after ``stop()``, i.e. zero leaked leases.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.corpus.dataset import load_dataset
+from repro.engine.pool import CoreBudget, ExecutorService
+from repro.service import client, jobs
+from repro.service.server import RepairServer
+
+SEED = 5
+HOST = "127.0.0.1"
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return list(load_dataset())[:3]
+
+
+@pytest.fixture
+def service():
+    service = ExecutorService(budget=CoreBudget(4))
+    yield service
+    service.shutdown()
+
+
+def payload_for(case, **extra) -> dict:
+    payload = {"source": case.source, "engine": "rustbrain?kb=off",
+               "seed": SEED, "name": case.name,
+               "difficulty": case.difficulty,
+               "category": case.category.value,
+               "reference_source": case.fixed_source}
+    payload.update(extra)
+    return payload
+
+
+def run(coroutine, timeout=60):
+    async def bounded():
+        return await asyncio.wait_for(coroutine, timeout)
+    return asyncio.run(bounded())
+
+
+class _Gate:
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = []
+        self._real = jobs.execute_repair
+
+    def __call__(self, config, *, cache=None, observer=None):
+        self.started.append(config.request.name)
+        assert self.release.wait(timeout=30), "gate never released"
+        return self._real(config, cache=cache, observer=observer)
+
+
+class TestGracefulShutdown:
+    def test_inflight_job_drains_and_waiter_gets_its_report(
+            self, cases, service, monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(jobs, "execute_repair", gate)
+
+        async def scenario():
+            server = RepairServer(host=HOST, port=0, workers=2,
+                                  executor_service=service)
+            await server.start()
+            waiter = asyncio.create_task(
+                client.post_repair(HOST, server.port,
+                                   payload_for(cases[0])))
+            while not gate.started:
+                await asyncio.sleep(0.01)
+            stopper = asyncio.create_task(server.stop())
+            await asyncio.sleep(0.05)
+            assert not stopper.done()  # stop() waits for the running job
+            gate.release.set()
+            await stopper
+            return (await waiter).json(), server
+
+        body, server = run(scenario())
+        assert body["status"] == "done"
+        assert body["report"]["case"] == cases[0].name
+        assert server.counters.completed == 1
+
+    def test_queued_jobs_are_cancelled_with_503(self, cases, service,
+                                                monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(jobs, "execute_repair", gate)
+
+        async def scenario():
+            server = RepairServer(host=HOST, port=0, workers=1,
+                                  executor_service=service)
+            await server.start()
+            running = asyncio.create_task(
+                client.post_repair(HOST, server.port,
+                                   payload_for(cases[0])))
+            while not gate.started:
+                await asyncio.sleep(0.01)
+            queued = asyncio.create_task(
+                client.post_repair(HOST, server.port,
+                                   payload_for(cases[1])))
+            while not server._queue:  # admitted but no free worker
+                await asyncio.sleep(0.01)
+            stopper = asyncio.create_task(server.stop())
+            cancelled = (await queued).json()
+            gate.release.set()
+            await stopper
+            return (await running).json(), cancelled, server
+
+        drained, cancelled, server = run(scenario())
+        assert drained["status"] == "done"
+        assert cancelled["status"] == "cancelled"
+        assert cancelled["error"] == "server shutting down"
+        assert "report" not in cancelled
+        assert server.counters.cancelled == 1
+        assert len(gate.started) == 1  # the queued job never executed
+
+    def test_draining_server_rejects_new_submissions(self, cases, service):
+        async def scenario():
+            server = RepairServer(host=HOST, port=0,
+                                  executor_service=service)
+            await server.start()
+            # Flip the drain flag without closing the socket so the
+            # rejection path (not a connection error) is what we observe.
+            server._draining = True
+            response = await client.post_repair(HOST, server.port,
+                                                payload_for(cases[0]))
+            health = await client.get_json(HOST, server.port, "/healthz")
+            server._draining = False
+            await server.stop()
+            return response, health
+
+        response, health = run(scenario())
+        assert response.status == 503
+        assert response.retry_after == "1"
+        assert "shutting down" in response.json()["error"]
+        assert health.json() == {"status": "draining"}
+
+    def test_no_leases_leak_across_a_server_lifecycle(self, cases, service):
+        async def scenario():
+            server = RepairServer(host=HOST, port=0, workers=3,
+                                  executor_service=service)
+            assert service.budget.in_use == 0
+            await server.start()
+            held = service.budget.in_use
+            await client.post_repair(HOST, server.port, payload_for(cases[0]))
+            await server.stop()
+            return held
+
+        held = run(scenario())
+        assert held == 3  # the lifetime worker-pool lease while serving
+        assert service.budget.in_use == 0  # fully released after stop()
+
+    def test_stop_after_load_releases_even_with_queued_work(
+            self, cases, service, monkeypatch):
+        gate = _Gate()
+        monkeypatch.setattr(jobs, "execute_repair", gate)
+
+        async def scenario():
+            server = RepairServer(host=HOST, port=0, workers=1,
+                                  executor_service=service)
+            await server.start()
+            for index, case in enumerate(cases):
+                response = await client.post_repair(
+                    HOST, server.port, payload_for(case, wait=False))
+                assert response.status == 202
+            gate.release.set()
+            await server.stop()
+            return server
+
+        server = run(scenario())
+        assert service.budget.in_use == 0
+        outcomes = {job.status for job in server._jobs.values()}
+        assert outcomes <= {"done", "cancelled"}
+        assert server.counters.completed + server.counters.cancelled == \
+            len(cases)
+
+    def test_stop_is_idempotent(self, service):
+        async def scenario():
+            server = RepairServer(host=HOST, port=0,
+                                  executor_service=service)
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        run(scenario())
+        assert service.budget.in_use == 0

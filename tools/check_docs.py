@@ -164,7 +164,8 @@ def _current_schema_ids() -> list[str]:
     campaign = (ROOT / "src/repro/engine/campaign.py").read_text(
         encoding="utf-8")
     ids += re.findall(r'"(repro\.campaign/\d+)"', campaign)
-    for script in ("benchmarks/perf_smoke.py", "benchmarks/ensemble_smoke.py"):
+    for script in ("benchmarks/perf_smoke.py", "benchmarks/ensemble_smoke.py",
+                   "benchmarks/service_smoke.py"):
         text = (ROOT / script).read_text(encoding="utf-8")
         ids += re.findall(r'"(repro\.bench_\w+/\d+)"', text)
     return sorted(set(ids))
