@@ -1,0 +1,363 @@
+#!/usr/bin/env python3
+"""Chaos smoke: fault injection, retry, crash-resume — with hard gates.
+
+Legs, one artifact (``BENCH_faults.json``, schema ``repro.bench_faults/1``
+— see docs/reference.md):
+
+1. **LLM faults**: a serial campaign under ``llm:rate`` injection is
+   byte-identical (arms *and* serialized telemetry) to the fault-free
+   reference, and retries demonstrably happened.
+2. **Worker crashes**: a process-pool campaign whose workers ``os._exit``
+   under ``worker:crash`` injection re-dispatches the lost shards and
+   still matches the reference byte-for-byte.
+3. **Cache I/O faults**: a cache-backed campaign under ``cache:io``
+   injection absorbs every disk error (degraded to misses, counted in
+   ``io_errors``) and its outcomes still match the reference.
+4. **Circuit breaker**: against an in-process server with a fake clock
+   and a failing executor, the admission transcript is exactly the
+   deterministic automaton: fail, fail, 503 (open), failed probe, 503,
+   succeeding probe, 200 (closed).
+5. **SIGKILL + resume**: a journaled campaign subprocess is killed with
+   SIGKILL mid-run; ``repro campaign --resume`` replays the journal,
+   re-executes zero journaled cases, and emits a ``campaign.json``
+   byte-identical to an uninterrupted run's.
+
+After every leg the shared core budget must read ``in_use == 0`` — no
+fault path may leak an executor lease.
+
+Wall-clock numbers are environment-dependent and NOT asserted; the
+``checks`` block is a set of hard gates and the script exits non-zero if
+any fails.
+
+Run:  PYTHONPATH=src python benchmarks/chaos_smoke.py \
+          [--quick] [OUTPUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# The legs below must not inherit an ambient plan from the environment;
+# the SIGKILL leg sets REPRO_FAULTS explicitly for its subprocess only.
+os.environ.pop("REPRO_FAULTS", None)
+
+from repro.corpus.dataset import load_dataset
+from repro.engine import (Campaign, EXECUTOR_SERVICE, ResultCache,
+                          RETRY_EVENTS)
+from repro.engine.journal import JOURNAL_FILENAME
+from repro.engine.pool import CoreBudget, ExecutorService
+from repro.miri.errors import UbKind
+from repro.service import client, jobs
+from repro.service.server import RepairServer
+
+SCHEMA = "repro.bench_faults/1"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_faults.json"
+
+HOST = "127.0.0.1"
+CHECK_SEED = 3
+CHECK_CATEGORIES = [UbKind.UNINIT]
+ENGINES = ["llm_only", "rustbrain?kb=off"]
+
+
+def _arms_json(result) -> str:
+    return json.dumps(result.to_dict()["arms"], sort_keys=True)
+
+
+def _budget_clean() -> bool:
+    return EXECUTOR_SERVICE.budget.in_use == 0
+
+
+def _llm_faults_leg(dataset) -> tuple[dict, dict]:
+    """Injected transient LLM errors: retried, byte-identical, observed."""
+    reference = Campaign(ENGINES, dataset, seed=CHECK_SEED,
+                         faults="").run()
+    before = RETRY_EVENTS.counts().get("llm", 0)
+    faulted = Campaign(ENGINES, dataset, seed=CHECK_SEED,
+                       faults="llm:rate=0.3,seed=7").run()
+    retries = RETRY_EVENTS.counts().get("llm", 0) - before
+    identical = _arms_json(faulted) == _arms_json(reference)
+    telemetry_identical = (faulted.to_dict()["telemetry"]
+                           == reference.to_dict()["telemetry"])
+    checks = {
+        "llm_faults_byte_identical": identical and telemetry_identical,
+        "llm_faults_retries_happened": retries > 0,
+        "llm_faults_budget_clean": _budget_clean(),
+    }
+    summary = {"cases": len(dataset), "arms": ENGINES,
+               "injected_retries": retries,
+               "outcomes_identical": identical,
+               "telemetry_identical": telemetry_identical}
+    return checks, summary
+
+
+def _worker_crash_leg(dataset) -> tuple[dict, dict]:
+    """Workers killed mid-shard: re-dispatch recovers byte-identically."""
+    reference = Campaign(ENGINES, dataset, seed=CHECK_SEED,
+                         faults="").run()
+    faulted = Campaign(ENGINES, dataset, seed=CHECK_SEED, workers=2,
+                       shard_size=4, executor="process",
+                       faults="worker:crash=0.4,seed=2").run()
+    identical = _arms_json(faulted) == _arms_json(reference)
+    redispatches = RETRY_EVENTS.counts().get("worker", 0)
+    checks = {
+        "worker_crash_byte_identical": identical,
+        "worker_crash_budget_clean": _budget_clean(),
+    }
+    summary = {"cases": len(dataset), "crash_rate": 0.4,
+               "outcomes_identical": identical,
+               "redispatch_events_total": redispatches}
+    return checks, summary
+
+
+def _cache_io_leg(dataset) -> tuple[dict, dict]:
+    """Injected cache I/O errors degrade to misses, never break a run."""
+    reference = Campaign(ENGINES, dataset, seed=CHECK_SEED,
+                         faults="").run()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-cache-") as tmp:
+        cache = ResultCache(tmp)
+        cold = Campaign(ENGINES, dataset, seed=CHECK_SEED, cache=cache,
+                        faults="cache:io=0.5,seed=3").run()
+        warm = Campaign(ENGINES, dataset, seed=CHECK_SEED, cache=cache,
+                        faults="cache:io=0.5,seed=3").run()
+        counts = cache.counts()
+    cold_ok = _arms_json(cold) == _arms_json(reference)
+    warm_ok = _arms_json(warm) == _arms_json(reference)
+    checks = {
+        "cache_io_outcomes_unaffected": cold_ok and warm_ok,
+        "cache_io_errors_absorbed": counts["io_errors"] > 0,
+        "cache_io_budget_clean": _budget_clean(),
+    }
+    summary = {"cases": len(dataset), "io_rate": 0.5,
+               "cache_counts": counts,
+               "cold_identical": cold_ok, "warm_identical": warm_ok}
+    return checks, summary
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _breaker_leg(dataset) -> tuple[dict, dict]:
+    """Deterministic breaker transcript against a failing executor."""
+    case = list(dataset)[0]
+    clock = _FakeClock()
+    healthy = threading.Event()
+    real = jobs.execute_repair
+
+    def flaky(config, *, cache=None, observer=None):
+        if not healthy.is_set():
+            raise RuntimeError("engine down")
+        return real(config, cache=cache, observer=observer)
+
+    service = ExecutorService(budget=CoreBudget(2))
+    jobs.execute_repair = flaky
+    try:
+        async def scenario():
+            transcript = []
+            retry_after = None
+            server = RepairServer(host=HOST, port=0, rate=0,
+                                  breaker_threshold=2,
+                                  breaker_reset_seconds=5.0,
+                                  executor_service=service, clock=clock)
+            await server.start()
+            try:
+                async def post(index):
+                    payload = {"source": case.source,
+                               "engine": "rustbrain?kb=off",
+                               "seed": CHECK_SEED, "index": index,
+                               "name": case.name,
+                               "category": case.category.value,
+                               "difficulty": case.difficulty,
+                               "reference_source": case.fixed_source}
+                    response = await client.post_repair(HOST, server.port,
+                                                        payload)
+                    transcript.append(response.status)
+                    return response
+
+                await post(0)                   # failure 1 of 2
+                await post(1)                   # failure 2 -> open
+                rejected = await post(2)        # 503 while open
+                retry_after = rejected.retry_after
+                clock.now = 5.0                 # window elapses
+                await post(3)                   # failing probe -> re-open
+                await post(4)                   # 503 again
+                clock.now = 10.0
+                healthy.set()
+                await post(5)                   # succeeding probe -> closed
+                await post(6)                   # flows again
+                stats = server.stats()
+            finally:
+                await server.stop()
+            return transcript, retry_after, stats
+
+        transcript, retry_after, stats = asyncio.run(scenario())
+    finally:
+        jobs.execute_repair = real
+        service.shutdown()
+
+    expected = [500, 500, 503, 500, 503, 200, 200]
+    checks = {
+        "breaker_transcript_deterministic": transcript == expected,
+        "breaker_rejections_carry_retry_after":
+            retry_after is not None and int(retry_after) >= 1,
+        "breaker_recovers_closed": stats["breaker"]["state"] == "closed",
+        "breaker_budget_clean":
+            _budget_clean() and service.budget.in_use == 0,
+    }
+    summary = {"transcript": transcript, "expected": expected,
+               "retry_after_seconds": retry_after,
+               "rejected_breaker": stats["counters"]["rejected_breaker"],
+               "breaker": stats["breaker"]}
+    return checks, summary
+
+
+_JOURNAL_LINE = re.compile(r"journal: (\d+) replayed, (\d+) appended")
+
+
+def _sigkill_resume_leg(repo_root: pathlib.Path) -> tuple[dict, dict]:
+    """SIGKILL a journaled campaign; resume must be byte-identical with
+    zero re-executed journaled cases."""
+    base_env = dict(os.environ)
+    base_env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(repo_root / "src"),
+                      base_env.get("PYTHONPATH", "")]))
+    base_env.pop("REPRO_FAULTS", None)
+    base_cmd = [sys.executable, "-m", "repro.cli", "campaign",
+                "--engine", "llm_only", "--engine", "rustbrain?kb=off",
+                "--category", "uninit", "--quiet"]
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-kill-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        reference_json = tmp_path / "reference.json"
+        subprocess.run(base_cmd + ["--json", str(reference_json)],
+                       env=base_env, check=True, capture_output=True)
+
+        # The doomed run: journaled, slowed by worker:hang so SIGKILL
+        # reliably lands mid-campaign.
+        jdir = tmp_path / "journal"
+        journal_path = jdir / JOURNAL_FILENAME
+        doomed_env = dict(base_env)
+        doomed_env["REPRO_FAULTS"] = "worker:hang=1,hang_seconds=0.3"
+        doomed = subprocess.Popen(
+            base_cmd + ["--journal", str(jdir)], env=doomed_env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 120
+        journaled_at_kill = 0
+        while time.monotonic() < deadline:
+            if journal_path.exists():
+                lines = journal_path.read_text().splitlines()
+                if len(lines) >= 3:  # header + >= 2 durable results
+                    journaled_at_kill = len(lines) - 1
+                    break
+            if doomed.poll() is not None:
+                break
+            time.sleep(0.05)
+        killed_midway = doomed.poll() is None
+        if killed_midway:
+            doomed.send_signal(signal.SIGKILL)
+        doomed.wait(timeout=60)
+
+        resumed_json = tmp_path / "resumed.json"
+        resumed = subprocess.run(
+            base_cmd + ["--resume", str(jdir), "--json", str(resumed_json)],
+            env=base_env, capture_output=True, text=True)
+        match = _JOURNAL_LINE.search(resumed.stdout)
+        replayed, appended = ((int(match.group(1)), int(match.group(2)))
+                              if match else (-1, -1))
+        identical = (resumed_json.exists()
+                     and resumed_json.read_bytes()
+                     == reference_json.read_bytes())
+
+    checks = {
+        "sigkill_landed_mid_campaign": killed_midway,
+        "sigkill_resume_byte_identical": resumed.returncode == 0
+        and identical,
+        # Every case durably journaled before the kill was replayed, not
+        # re-executed; only the genuinely missing ones ran.
+        "sigkill_zero_journaled_cases_reexecuted":
+            replayed >= journaled_at_kill > 0,
+        "sigkill_budget_clean": _budget_clean(),
+    }
+    summary = {"journaled_at_kill": journaled_at_kill,
+               "resume_replayed": replayed,
+               "resume_appended": appended,
+               "resume_exit_code": resumed.returncode,
+               "resume_identical_to_reference": identical}
+    return checks, summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output", nargs="?", type=pathlib.Path,
+                        default=DEFAULT_OUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="trim the case subset for CI")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    dataset = load_dataset().subset(CHECK_CATEGORIES)
+    if args.quick:
+        from repro.corpus.dataset import Dataset
+        dataset = Dataset(tuple(list(dataset)[:4]))
+    repo_root = pathlib.Path(__file__).resolve().parents[1]
+
+    legs = [
+        ("llm_faults", lambda: _llm_faults_leg(dataset)),
+        ("worker_crash", lambda: _worker_crash_leg(dataset)),
+        ("cache_io", lambda: _cache_io_leg(dataset)),
+        ("breaker", lambda: _breaker_leg(dataset)),
+        ("sigkill_resume", lambda: _sigkill_resume_leg(repo_root)),
+    ]
+    checks: dict = {}
+    wall_seconds: dict = {}
+    payload: dict = {
+        "schema": SCHEMA,
+        "config": {"seed": CHECK_SEED,
+                   "categories": sorted(c.value for c in CHECK_CATEGORIES),
+                   "cases": len(dataset), "quick": args.quick}}
+    for name, leg in legs:
+        start = time.perf_counter()
+        leg_checks, leg_summary = leg()
+        wall_seconds[name] = round(time.perf_counter() - start, 4)
+        checks.update(leg_checks)
+        payload[name] = leg_summary
+    payload["wall_seconds"] = wall_seconds
+    payload["checks"] = checks
+
+    out_path = args.output
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path}")
+    print(f"  llm retries injected: "
+          f"{payload['llm_faults']['injected_retries']}; "
+          f"cache io errors: "
+          f"{payload['cache_io']['cache_counts']['io_errors']}")
+    print(f"  breaker transcript: {payload['breaker']['transcript']}")
+    print(f"  resume: {payload['sigkill_resume']['resume_replayed']} "
+          f"replayed, {payload['sigkill_resume']['resume_appended']} "
+          f"appended after SIGKILL at "
+          f"{payload['sigkill_resume']['journaled_at_kill']} journaled")
+    print(f"  checks: {checks}")
+    if not all(checks.values()):
+        print("chaos smoke FAILED gates", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

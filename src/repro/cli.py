@@ -184,8 +184,9 @@ def _cmd_engines(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .bench.reporting import render_table
-    from .engine import (Campaign, ProgressPrinter, SpecError,
-                         UnknownEngineError)
+    from .engine import (Campaign, CampaignJournal, JournalError,
+                         ProgressPrinter, SpecError, UnknownEngineError)
+    from .engine.journal import JOURNAL_FILENAME
     from .corpus.dataset import load_dataset
     from .miri.errors import UbKind
 
@@ -227,6 +228,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+
+    # --resume is --journal plus the requirement that a journal already
+    # exists: resuming nothing is a usage error, not an empty no-op.
+    journal_dir = args.resume or args.journal
+    if args.resume:
+        journal_path = pathlib.Path(args.resume) / JOURNAL_FILENAME
+        if not journal_path.is_file():
+            print(f"repro: nothing to resume: {journal_path} does not exist",
+                  file=sys.stderr)
+            return 2
+    journal = CampaignJournal(journal_dir) if journal_dir else None
+
     try:
         # Construction fails fast on unknown engines / bad spec options;
         # run() errors past this point are genuine bugs, not usage errors.
@@ -236,11 +249,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                             shard_size=args.shard_size,
                             isolation=args.isolation,
                             executor=args.executor,
-                            cache_dir=cache_dir, observers=observers)
+                            cache_dir=cache_dir, observers=observers,
+                            journal=journal)
     except (SpecError, UnknownEngineError, ValueError, OSError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
-    result = campaign.run()
+    try:
+        result = _run_interruptible(campaign)
+    except JournalError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return _campaign_interrupted(campaign, journal_dir)
+    finally:
+        if journal is not None:
+            journal.close()
 
     rows = []
     for arm in result.arms:
@@ -255,6 +278,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if cache_dir is not None:
         hits, misses = result.telemetry.cache_counts()
         print(f"cache: {hits} hits, {misses} misses ({cache_dir})")
+    if journal is not None:
+        print(f"journal: {journal.replayed} replayed, "
+              f"{journal.appended} appended ({journal_dir})")
     if args.json:
         try:
             result.save(args.json)
@@ -265,6 +291,61 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 2
         print(f"wrote {args.json}")
     return 0
+
+
+def _run_interruptible(campaign):
+    """``campaign.run()`` with SIGTERM folded into KeyboardInterrupt.
+
+    A supervisor's polite kill and the operator's Ctrl-C should take the
+    same path: flush-and-summarize in :func:`_campaign_interrupted`, exit
+    130.  The previous handler is restored afterwards — library code must
+    not leave process-wide signal state behind.
+    """
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # not the main thread (embedding, tests)
+        previous = None
+    try:
+        return campaign.run()
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _campaign_interrupted(campaign, journal_dir) -> int:
+    """Interrupt epilogue: durable state is already safe (the journal
+    fsyncs per case), so flush what is diagnostic — partial telemetry —
+    release the worker pools, and exit with the conventional 130."""
+    import json
+
+    from .engine import EXECUTOR_SERVICE
+
+    journal = campaign.journal
+    if journal is not None:
+        journal.close()
+    lines = ["repro: campaign interrupted"]
+    if journal is not None:
+        lines.append(f"repro: journal holds {len(journal)} completed "
+                     f"results ({journal.appended} from this run); resume "
+                     f"with: repro campaign --resume {journal_dir} ...")
+        partial = pathlib.Path(journal_dir) / "telemetry.partial.json"
+        try:
+            partial.write_text(
+                json.dumps(campaign.telemetry.to_dict(), indent=2,
+                           sort_keys=True) + "\n", encoding="utf-8")
+            lines.append(f"repro: partial telemetry written to {partial}")
+        except OSError as exc:
+            detail = exc.strerror or str(exc)
+            lines.append(f"repro: could not write {partial}: {detail}")
+    for line in lines:
+        print(line, file=sys.stderr, flush=True)
+    EXECUTOR_SERVICE.shutdown()
+    return 130
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -441,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restrict to a UB category (repeatable)")
     p_campaign.add_argument("--json", default=None, metavar="PATH",
                             help="write the full campaign.json trajectory")
+    p_campaign.add_argument("--journal", default=None, metavar="DIR",
+                            help="append every completed result to "
+                                 "DIR/campaign.journal (fsync'd), making "
+                                 "the campaign crash-resumable")
+    p_campaign.add_argument("--resume", default=None, metavar="DIR",
+                            help="resume from DIR/campaign.journal: replay "
+                                 "journaled results, execute only what is "
+                                 "missing (implies --journal DIR)")
     p_campaign.add_argument("--quiet", action="store_true",
                             help="suppress progress lines")
     p_campaign.set_defaults(fn=_cmd_campaign)

@@ -21,8 +21,15 @@ from .cache import (CACHE_EPOCH, CACHE_SCHEMA, ResultCache, arm_key,
                     case_key, fingerprint_case, fingerprint_dataset)
 from .campaign import (EXECUTORS, ArmRun, Campaign, CampaignResult,
                        case_seed, hoist_pinned_seed, run_cases)
+from .faults import (FAULT_STATS, CacheIOFault, FaultPlan, FaultSpecError,
+                     InjectedFault, TransientLLMError, TransientLLMTimeout,
+                     TransientServiceError, active_plan, install,
+                     maybe_inject)
+from .journal import (JOURNAL_SCHEMA, CampaignJournal, JournalError)
 from .pool import (EXECUTOR_SERVICE, POOL_KINDS, CoreBudget,
                    ExecutorService)
+from .retry import (CAMPAIGN_RETRY, LLM_RETRY, RETRY_EVENTS, SERVICE_RETRY,
+                    RetryNotifier, RetryPolicy)
 from .ensemble import (DEFAULT_MEMBERS, ENSEMBLE_KINDS, MEMBER_EXECUTORS,
                        STRATEGIES, EnsembleConfig, EnsembleEngine, Member,
                        member_seed, parse_member, parse_members,
@@ -35,15 +42,18 @@ from .results import CaseResult, SystemResults
 from .spec import EngineSpec, SpecError
 from .telemetry import (CacheQueried, CampaignObserver, CaseFinished,
                         CaseStarted, EngineFinished, EngineStarted,
-                        MemberFinished, ProgressPrinter, RoundFinished,
-                        TelemetryLog)
+                        MemberFinished, ProgressPrinter, RetryAttempted,
+                        RoundFinished, TelemetryLog)
 from .types import RepairReport, RepairRequest, run_request
 
 __all__ = [
     "ArmRun",
     "CACHE_SCHEMA",
+    "CAMPAIGN_RETRY",
+    "CacheIOFault",
     "CacheQueried",
     "Campaign",
+    "CampaignJournal",
     "CampaignObserver",
     "CampaignResult",
     "CaseFinished",
@@ -59,18 +69,34 @@ __all__ = [
     "EngineSpec",
     "EngineStarted",
     "ExecutorService",
+    "FAULT_STATS",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "LLM_RETRY",
     "POOL_KINDS",
     "ProgressPrinter",
     "REGISTRY",
+    "RETRY_EVENTS",
     "RepairEngine",
     "RepairReport",
     "RepairRequest",
     "ResultCache",
+    "RetryAttempted",
+    "RetryNotifier",
+    "RetryPolicy",
     "RoundFinished",
+    "SERVICE_RETRY",
     "SpecError",
     "SystemResults",
     "TelemetryLog",
+    "TransientLLMError",
+    "TransientLLMTimeout",
+    "TransientServiceError",
     "UnknownEngineError",
+    "active_plan",
     "apply_config_overrides",
     "arm_key",
     "available_engines",
@@ -79,6 +105,8 @@ __all__ = [
     "create_engine",
     "fingerprint_case",
     "fingerprint_dataset",
+    "install",
+    "maybe_inject",
     "register_engine",
     "run_cases",
     "run_request",

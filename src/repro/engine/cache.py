@@ -25,6 +25,12 @@ process-pool workers can race on the same key without torn reads; both
 racers write identical bytes.  A small in-memory layer makes repeated hits
 within one process free.  Corrupt or schema-mismatched entries read as
 misses and are recomputed, never trusted.
+
+The disk layer is strictly best-effort: read errors (real or injected via
+the ``cache:io`` fault site, :mod:`repro.engine.faults`) degrade to a
+miss, write errors skip the disk copy but keep the in-memory one, and
+both are counted in ``io_errors`` — a cache failure can slow a campaign
+down, never crash it or change its results.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import pathlib
 import tempfile
 import threading
 
+from .faults import maybe_inject
 from .types import RepairReport
 
 #: Bump when the key material or entry layout changes; old entries then
@@ -120,6 +127,9 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Disk I/O failures absorbed (reads degraded to misses, writes
+        #: kept memory-only) — real or injected via the ``cache:io`` site.
+        self.io_errors = 0
         self._lock = threading.Lock()
         #: Per-process read-through layer; disk stays the source of truth.
         self._memory: dict[str, list[RepairReport]] = {}
@@ -145,15 +155,23 @@ class ResultCache:
                 self.hits += 1
                 return list(cached)
         try:
+            maybe_inject("cache", key=f"get|{key}")
             payload = json.loads(self._path(key).read_text(encoding="utf-8"))
             if payload.get("schema") != CACHE_SCHEMA:
                 raise ValueError("cache schema mismatch")
             reports = [RepairReport.from_dict(entry)
                        for entry in payload["reports"]]
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, corrupt, or from an incompatible schema: recompute.
+        except FileNotFoundError:
             with self._lock:
                 self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Corrupt, incompatible schema, or a disk read error (real or
+            # injected): degrade to a miss and recompute — never crash.
+            with self._lock:
+                self.misses += 1
+                if isinstance(exc, OSError):
+                    self.io_errors += 1
             return None
         with self._lock:
             self._memory[key] = list(reports)
@@ -161,23 +179,37 @@ class ResultCache:
         return reports
 
     def put(self, key: str, reports: list[RepairReport]) -> None:
-        """Store ``reports`` under ``key`` atomically."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Store ``reports`` under ``key`` atomically.
+
+        A disk write failure (real or injected) is absorbed: the entry
+        stays in the in-memory layer for this process, ``io_errors`` is
+        bumped, and the next cold run simply recomputes — the cache is an
+        accelerator, so losing a write must never fail the work that
+        produced the result.
+        """
         payload = json.dumps(
             {"schema": CACHE_SCHEMA,
              "reports": [report.to_dict() for report in reports]},
             sort_keys=True)
-        self._write_atomic(path, payload)
+        try:
+            maybe_inject("cache", key=f"put|{key}")
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._write_atomic(path, payload)
+        except OSError:
+            with self._lock:
+                self.io_errors += 1
         with self._lock:
             self._memory[key] = list(reports)
 
     def counts(self) -> dict:
-        """Internally consistent ``{hits, misses, memory_entries}`` view —
-        what the service's ``/stats`` endpoint publishes."""
+        """Internally consistent ``{hits, misses, memory_entries,
+        io_errors}`` view — what the service's ``/stats`` endpoint
+        publishes."""
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
-                    "memory_entries": len(self._memory)}
+                    "memory_entries": len(self._memory),
+                    "io_errors": self.io_errors}
 
     def _write_atomic(self, path: pathlib.Path, payload: str) -> None:
         last_error: OSError | None = None
@@ -229,3 +261,4 @@ class ResultCache:
             self._memory.clear()
             self.hits = 0
             self.misses = 0
+            self.io_errors = 0

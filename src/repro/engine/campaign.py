@@ -45,6 +45,22 @@ order-dependent by design, so within an arm it always runs serially
 and several arms, whole arms run in parallel instead — each arm keeps its
 exact stateful semantics while the pool stays saturated, which is how the
 benchmark figures fan their per-seed repeat samples out.
+
+Campaigns are resilient (see DESIGN.md, "Failure model & recovery"):
+
+* A fault plan (``faults=`` or ``REPRO_FAULTS``,
+  :mod:`repro.engine.faults`) is installed for the duration of ``run()``
+  and travels to process workers as a spec string in the task arguments.
+  A worker killed mid-shard breaks the pool; the campaign re-leases a
+  replacement from the :data:`~repro.engine.pool.EXECUTOR_SERVICE` and
+  re-dispatches the uncollected shards with deterministic backoff
+  (``on_retry`` telemetry) — results stay byte-identical because every
+  case derives its seed from ``(campaign seed, index)``, not from which
+  worker ran it.
+* A :class:`~repro.engine.journal.CampaignJournal` (``journal=``)
+  durably appends every completed result, keyed by the existing cache
+  keys; a killed campaign resumed with the same journal replays the
+  journaled cases and re-executes only what is missing.
 """
 
 from __future__ import annotations
@@ -52,18 +68,23 @@ from __future__ import annotations
 import json
 import threading
 import warnings
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..corpus.dataset import Dataset, load_dataset
-from .cache import (ResultCache, arm_key, case_key, fingerprint_case,
-                    fingerprint_dataset)
+from . import faults as faults_mod
+from .cache import (CACHE_EPOCH, ResultCache, _digest, arm_key, case_key,
+                    fingerprint_case, fingerprint_dataset)
+from .journal import CampaignJournal
 from .pool import EXECUTOR_SERVICE, cancel_and_wait
 from .registry import create_engine
 from .results import SystemResults
+from .retry import CAMPAIGN_RETRY, RETRY_EVENTS, RetryPolicy
 from .spec import EngineSpec, arm_label
 from .telemetry import (CacheQueried, CampaignObserver, CaseFinished,
                         CaseStarted, EngineFinished, EngineStarted,
-                        MemberFinished, RoundFinished, TelemetryLog)
+                        MemberFinished, RetryAttempted, RoundFinished,
+                        TelemetryLog)
 from .types import RepairReport, RepairRequest, run_request
 
 #: Multiplier decorrelating per-case seeds from neighbouring campaign seeds.
@@ -122,27 +143,59 @@ def run_cases(engine, dataset: Dataset, label: str) -> SystemResults:
 # report lists; no locks, observers, or caches ever cross the boundary.
 
 
+def _worker_faults(faults: str, key: str, attempt: int):
+    """Install the task's fault plan in this worker and roll its fate.
+
+    The plan arrives as a spec string *in the task arguments* (never via
+    parent globals — workers are long-lived and fork-once), is installed
+    for the duration of the task so LLM/cache hooks inside the worker see
+    it, and decides up front whether this worker crashes or hangs.
+    ``attempt`` is the parent's re-dispatch count: a shard that crashed
+    the pool must not crash its replacement forever.
+
+    Returns the previous override, for the caller's ``finally`` restore.
+    """
+    plan = faults_mod.FaultPlan.parse(faults)
+    previous = faults_mod.install(plan)
+    if plan.enabled:
+        plan.crash(key, attempt)
+        plan.hang(key, attempt)
+    return previous
+
+
 def _execute_case_batch(spec: str, label: str, model: str, temperature: float,
-                        base_seed: int, items: list) -> list[RepairReport]:
+                        base_seed: int, items: list, faults: str = "",
+                        attempt: int = 0) -> list[RepairReport]:
     """Run a shard of ``(index, case)`` pairs with per-case engines."""
-    reports = []
-    for index, case in items:
-        engine = create_engine(spec, model=model,
-                               seed=case_seed(base_seed, index),
-                               temperature=temperature)
-        reports.append(run_request(engine, RepairRequest.from_case(case, index),
-                                   engine_label=label))
-    return reports
+    first = items[0][0] if items else 0
+    previous = _worker_faults(faults, f"{label}|shard{first}", attempt)
+    try:
+        reports = []
+        for index, case in items:
+            engine = create_engine(spec, model=model,
+                                   seed=case_seed(base_seed, index),
+                                   temperature=temperature)
+            reports.append(run_request(engine,
+                                       RepairRequest.from_case(case, index),
+                                       engine_label=label))
+        return reports
+    finally:
+        faults_mod.install(previous)
 
 
 def _execute_shared_arm(spec: str, label: str, model: str, temperature: float,
-                        base_seed: int, cases: list) -> list[RepairReport]:
+                        base_seed: int, cases: list, faults: str = "",
+                        attempt: int = 0) -> list[RepairReport]:
     """Run one whole stateful arm serially (shared-isolation semantics)."""
-    engine = create_engine(spec, model=model, seed=base_seed,
-                           temperature=temperature)
-    return [run_request(engine, RepairRequest.from_case(case, index),
-                        engine_label=label)
-            for index, case in enumerate(cases)]
+    previous = _worker_faults(faults, f"{label}|arm", attempt)
+    try:
+        engine = create_engine(spec, model=model, seed=base_seed,
+                               temperature=temperature)
+        return [run_request(engine, RepairRequest.from_case(case, index),
+                            engine_label=label)
+                for index, case in enumerate(cases)]
+    finally:
+        faults_mod.install(previous)
 
 
 @dataclass
@@ -236,7 +289,9 @@ class Campaign:
                  shard_size: int = 8, isolation: str = "per_case",
                  executor: str = "thread",
                  cache: ResultCache | None = None,
-                 cache_dir=None, observers=()):
+                 cache_dir=None, observers=(),
+                 faults=None, retry: RetryPolicy | None = None,
+                 journal: CampaignJournal | str | None = None):
         # A lone spec (string or EngineSpec) is a one-arm campaign, not an
         # iterable of one-character engine names.
         if isinstance(engines, (str, EngineSpec)):
@@ -294,6 +349,14 @@ class Campaign:
         self.isolation = isolation
         self.executor = executor
         self.cache = ResultCache(cache_dir) if cache_dir is not None else cache
+        #: The resolved fault plan (``faults=`` wins; ``None`` captures the
+        #: ambient plan — an installed override or ``REPRO_FAULTS``; ``""``
+        #: explicitly disables injection regardless of the environment).
+        self.fault_plan = faults_mod.FaultPlan.coerce(faults)
+        self.retry = retry if retry is not None else CAMPAIGN_RETRY
+        self.journal = CampaignJournal(journal) \
+            if isinstance(journal, (str, bytes)) or hasattr(journal, "__fspath__") \
+            else journal
         self._user_observers: list[CampaignObserver] = list(observers)
         #: The latest run's event log; replaced at each ``run()`` so repeated
         #: runs don't accumulate each other's events.
@@ -328,6 +391,10 @@ class Campaign:
         self._emit("on_case_start",
                    CaseStarted(engine=label, case=case.name, index=index,
                                total=total))
+        # In-process executions honour the plan's hang site only: a crash
+        # here would take down the campaign itself, not a worker.
+        if self.fault_plan.enabled:
+            self.fault_plan.hang(f"{label}|case{index}")
         if engine is None:
             engine = create_engine(spec, model=self.model,
                                    seed=case_seed(base_seed, index),
@@ -374,10 +441,13 @@ class Campaign:
 
     def _plan_shards(self, spec: EngineSpec, label: str,
                      base_seed: int, shards) -> list[_ShardPlan]:
-        """Parent-side cache consult: split every shard into hits/misses.
+        """Parent-side cache/journal consult: split shards into hits/misses.
 
         ``on_cache`` telemetry fires here, in dataset order, identically
-        for every executor backend.
+        for every executor backend.  The journal is consulted *behind*
+        the cache and emits no telemetry of its own: a journal replay
+        must leave the event stream exactly as the original (cacheless)
+        run produced it, or a resumed ``campaign.json`` would differ.
         """
         spec_str = spec.to_string()
         plans = []
@@ -386,7 +456,7 @@ class Campaign:
             misses: list = []
             keys: dict = {}
             for index, case in shard:
-                if self.cache is None:
+                if self.cache is None and self.journal is None:
                     misses.append((index, case))
                     continue
                 key = case_key(spec_str, self.model, self.temperature,
@@ -396,18 +466,36 @@ class Campaign:
                                                 case.difficulty,
                                                 case.category))
                 keys[index] = key
-                cached = self.cache.get(key)
+                cached = None
+                if self.cache is not None:
+                    cached = self.cache.get(key)
+                    self._emit("on_cache",
+                               CacheQueried(engine=label, case=case.name,
+                                            index=index,
+                                            hit=cached is not None, key=key))
                 if cached is not None:
                     hits[index] = cached[0]
+                    self._journal_record(key, [cached[0]], kind="case",
+                                         arm=label, index=index)
+                    continue
+                journaled = self.journal.get(key) \
+                    if self.journal is not None else None
+                if journaled is not None:
+                    hits[index] = journaled[0]
                 else:
                     misses.append((index, case))
-                self._emit("on_cache",
-                           CacheQueried(engine=label, case=case.name,
-                                        index=index,
-                                        hit=cached is not None, key=key))
             plans.append(_ShardPlan(shard=list(shard), hits=hits,
                                     misses=misses, keys=keys))
         return plans
+
+    def _journal_record(self, key: str | None, reports, *, kind: str,
+                        arm: str, index: int | None = None) -> None:
+        """Durably journal one completed result (no-op without a journal;
+        duplicate keys — replays, cache hits already journaled by the
+        interrupted run — are ignored by the journal itself)."""
+        if self.journal is not None and key is not None:
+            self.journal.append(key, reports, kind=kind, arm=arm,
+                                index=index)
 
     def _merge_shard(self, label: str, total: int, plan: _ShardPlan,
                      miss_reports: list[RepairReport],
@@ -428,6 +516,8 @@ class Campaign:
                     self._replay_case(label, case, index, total, report)
                 if self.cache is not None:
                     self.cache.put(plan.keys[index], [report])
+                self._journal_record(plan.keys.get(index), [report],
+                                     kind="case", arm=label, index=index)
             merged.append(report)
         return merged
 
@@ -511,33 +601,75 @@ class Campaign:
                     raise
         else:
             spec_str = run_spec.to_string()
-            with EXECUTOR_SERVICE.lease("process", self.workers) as pool:
-                futures = [pool.submit(_execute_case_batch, spec_str, label,
-                                       self.model, self.temperature,
-                                       base_seed, plan.misses)
-                           for plan in plans]
+            faults_str = self.fault_plan.to_string()
+            # A worker crash breaks the whole pool; the service hands out
+            # a replacement on the next lease, and only the *uncollected*
+            # shards are re-dispatched (collection is in submission order,
+            # so the collected prefix is exactly what is already merged).
+            # Re-execution is safe: shards are pure functions of their
+            # arguments, so a shard that completed but was never collected
+            # recomputes byte-identically.
+            position = 0
+            attempt = 0
+            while position < rounds:
+                remaining = plans[position:]
                 try:
-                    for round_index, (future, plan) in enumerate(
-                            zip(futures, plans)):
-                        collect(round_index, plan, future.result(),
-                                replay_misses=True)
-                except BaseException:
-                    cancel_and_wait(futures)
-                    raise
+                    with EXECUTOR_SERVICE.lease("process",
+                                                self.workers) as pool:
+                        futures = [pool.submit(
+                            _execute_case_batch, spec_str, label,
+                            self.model, self.temperature, base_seed,
+                            plan.misses, faults_str, attempt)
+                            for plan in remaining]
+                        try:
+                            for future, plan in zip(futures, remaining):
+                                collect(position, plan, future.result(),
+                                        replay_misses=True)
+                                position += 1
+                        except BaseException:
+                            cancel_and_wait(futures)
+                            raise
+                except BrokenProcessPool as exc:
+                    attempt += 1
+                    self._redispatch_backoff(label, position, attempt, exc)
         return reports
+
+    def _redispatch_backoff(self, label: str, position: int, attempt: int,
+                            exc: BaseException) -> None:
+        """Between shard re-dispatches: exhaust the budget or back off.
+
+        Emits the ``on_retry`` event through the process-wide notifier —
+        :meth:`run` keeps a subscription open, so the event lands in this
+        campaign's telemetry alongside LLM-level retries.
+        """
+        if attempt >= self.retry.attempts:
+            raise exc
+        delay = self.retry.delay_for(attempt - 1, key=label)
+        RETRY_EVENTS.emit(RetryAttempted(
+            site="worker", key=f"{label}|round{position}", attempt=attempt,
+            max_attempts=self.retry.attempts, delay_seconds=delay,
+            error=f"{type(exc).__name__}: {exc}"))
+        self.retry.sleep(delay)
 
     def _run_shared_arm(self, spec: EngineSpec, run_spec: EngineSpec,
                         label: str, base_seed: int,
                         cases: list) -> list[RepairReport]:
         total = len(cases)
         key = None
-        if self.cache is not None:
+        if self.cache is not None or self.journal is not None:
             key = arm_key(spec.to_string(), self.model, self.temperature,
                           base_seed, fingerprint_dataset(cases))
+        if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None and len(cached) == total:
+                self._journal_record(key, cached, kind="arm", arm=label)
                 return self._replay_shared_arm(label, cases, cached, key,
                                                hit=True)
+        if self.journal is not None:
+            journaled = self.journal.get(key)
+            if journaled is not None and len(journaled) == total:
+                return self._replay_shared_arm(label, cases, journaled, key,
+                                               hit=False)
         shared_engine = create_engine(run_spec, model=self.model,
                                       seed=base_seed,
                                       temperature=self.temperature)
@@ -547,7 +679,7 @@ class Campaign:
         for round_index, shard in enumerate(shards):
             shard_reports = []
             for index, case in shard:
-                if key is not None:
+                if self.cache is not None:
                     self._emit("on_cache",
                                CacheQueried(engine=label, case=case.name,
                                             index=index, hit=False, key=key))
@@ -559,8 +691,9 @@ class Campaign:
             passed += sum(r.passed for r in shard_reports)
             self._emit_round(label, round_index, len(shards), completed,
                             total, passed)
-        if key is not None:
+        if self.cache is not None:
             self.cache.put(key, reports)
+        self._journal_record(key, reports, kind="arm", arm=label)
         return reports
 
     def _replay_shared_arm(self, label: str, cases: list,
@@ -574,7 +707,9 @@ class Campaign:
         position = 0
         for round_index, shard in enumerate(shards):
             for index, case in shard:
-                if key is not None:
+                # A journal replay passes a key but runs cacheless: no
+                # on_cache events, exactly like the original live run.
+                if key is not None and self.cache is not None:
                     self._emit("on_cache",
                                CacheQueried(engine=label, case=case.name,
                                             index=index, hit=hit, key=key))
@@ -598,61 +733,92 @@ class Campaign:
         emitted arm-by-arm in spec order as results are collected.
         """
         cases = list(self.dataset)
-        dataset_fp = fingerprint_dataset(cases) if self.cache is not None \
-            else None
-        plans = []  # (spec, run_spec, label, base_seed, key, cached | None)
+        dataset_fp = fingerprint_dataset(cases) \
+            if self.cache is not None or self.journal is not None else None
+        # (spec, run_spec, label, base_seed, key, ready reports, source)
+        # where source is "cache", "journal", or None (needs execution).
+        plans = []
         for spec in self.specs:
             label = self.label_for(spec)
             base_seed, run_spec = self._arm_seeding(spec)
-            key = cached = None
-            if self.cache is not None:
+            key = ready = source = None
+            if dataset_fp is not None:
                 key = arm_key(spec.to_string(), self.model, self.temperature,
                               base_seed, dataset_fp)
-                cached = self.cache.get(key)
-                if cached is not None and len(cached) != len(cases):
-                    cached = None
-            plans.append((spec, run_spec, label, base_seed, key, cached))
+            if self.cache is not None:
+                ready = self.cache.get(key)
+                if ready is not None and len(ready) == len(cases):
+                    source = "cache"
+                else:
+                    ready = None
+            if ready is None and self.journal is not None:
+                ready = self.journal.get(key)
+                if ready is not None and len(ready) == len(cases):
+                    source = "journal"
+                else:
+                    ready = None
+            plans.append((spec, run_spec, label, base_seed, key, ready,
+                          source))
 
         arms: list[ArmRun] = []
-        live = [plan for plan in plans if plan[5] is None]
 
         def collect(plan, futures) -> None:
-            spec, _run_spec, label, _base_seed, key, cached = plan
+            spec, _run_spec, label, _base_seed, key, ready, source = plan
             self._emit("on_engine_start",
                        EngineStarted(engine=label, cases=len(cases)))
-            if cached is not None:
-                reports = self._replay_shared_arm(label, cases, cached,
+            if source == "cache":
+                self._journal_record(key, ready, kind="arm", arm=label)
+                reports = self._replay_shared_arm(label, cases, ready,
                                                   key, hit=True)
+            elif source == "journal":
+                reports = self._replay_shared_arm(label, cases, ready,
+                                                  key, hit=False)
             else:
                 reports = futures[id(plan)].result()
                 self._replay_shared_arm(label, cases, reports, key,
                                         hit=False)
-                if key is not None:
+                if self.cache is not None:
                     self.cache.put(key, reports)
+                self._journal_record(key, reports, kind="arm", arm=label)
             self._emit_engine_done(label, reports)
             arms.append(ArmRun(spec=spec, label=label, reports=reports))
 
-        if not live:
-            # Fully cache-warm sweep: every arm replays from disk, so
-            # leasing a worker pool would do literally nothing.
-            for plan in plans:
-                collect(plan, {})
-            return arms
-        # Keyed by the campaign's worker count, NOT min(workers, live):
-        # a live-count-dependent key would accumulate one long-lived pool
-        # per distinct cache-miss count across repeated sweeps.  Excess
-        # workers simply idle for this run.
-        with EXECUTOR_SERVICE.lease("process", self.workers) as pool:
-            futures = {id(plan): pool.submit(
-                _execute_shared_arm, plan[1].to_string(), plan[2],
-                self.model, self.temperature, plan[3], cases)
-                for plan in live}
+        faults_str = self.fault_plan.to_string()
+        position = 0
+        attempt = 0
+        while position < len(plans):
+            pending_live = [plan for plan in plans[position:]
+                            if plan[6] is None]
+            if not pending_live:
+                # Fully warm tail (cache or journal): every remaining arm
+                # replays from disk, so leasing a pool would do nothing.
+                for plan in plans[position:]:
+                    collect(plan, {})
+                    position += 1
+                break
+            # Keyed by the campaign's worker count, NOT min(workers, live):
+            # a live-count-dependent key would accumulate one long-lived
+            # pool per distinct cache-miss count across repeated sweeps.
+            # Excess workers simply idle for this run.  A BrokenProcessPool
+            # (worker crash) re-leases and re-dispatches the uncollected
+            # live arms, exactly like the per-case shard path.
             try:
-                for plan in plans:
-                    collect(plan, futures)
-            except BaseException:
-                cancel_and_wait(futures.values())
-                raise
+                with EXECUTOR_SERVICE.lease("process", self.workers) as pool:
+                    futures = {id(plan): pool.submit(
+                        _execute_shared_arm, plan[1].to_string(), plan[2],
+                        self.model, self.temperature, plan[3], cases,
+                        faults_str, attempt)
+                        for plan in pending_live}
+                    try:
+                        while position < len(plans):
+                            collect(plans[position], futures)
+                            position += 1
+                    except BaseException:
+                        cancel_and_wait(futures.values())
+                        raise
+            except BrokenProcessPool as exc:
+                attempt += 1
+                self._redispatch_backoff("arms", position, attempt, exc)
         return arms
 
     def _emit_round(self, label: str, round_index: int, rounds: int,
@@ -662,14 +828,38 @@ class Campaign:
             engine=label, round_index=round_index, rounds=rounds,
             completed=completed, total=total, passed_so_far=passed))
 
+    def _journal_fingerprint(self) -> str:
+        """Digest of everything that determines case outcomes — so a
+        journal can refuse to resume a *different* experiment — while
+        leaving parallelism (workers, shard size, executor) free to
+        change between the interrupted run and the resume."""
+        return _digest(
+            "journal", str(CACHE_EPOCH), self.model, str(self.seed),
+            f"{self.temperature:.6g}", self.isolation,
+            fingerprint_dataset(list(self.dataset)),
+            *sorted(spec.to_string() for spec in self.specs))
+
     def run(self) -> CampaignResult:
         self.telemetry = TelemetryLog()
         self.observers = [self.telemetry, *self._user_observers]
-        if self.isolation == "shared" and self._pooled \
-                and self.executor == "process" and len(self.specs) > 1:
-            arms = self._run_arms_pooled()
-        else:
-            arms = [self._run_arm(spec) for spec in self.specs]
+        if self.journal is not None:
+            self.journal.open(self._journal_fingerprint())
+        # Scope the campaign's fault plan process-wide so in-process
+        # hooks (LLM client, cache) see it, and bridge every retry —
+        # LLM-level, shard re-dispatch, wherever — into this run's
+        # telemetry as on_retry events.
+        previous_plan = faults_mod.install(self.fault_plan)
+        try:
+            with RETRY_EVENTS.subscribed(
+                    lambda event: self._emit("on_retry", event)):
+                if self.isolation == "shared" and self._pooled \
+                        and self.executor == "process" \
+                        and len(self.specs) > 1:
+                    arms = self._run_arms_pooled()
+                else:
+                    arms = [self._run_arm(spec) for spec in self.specs]
+        finally:
+            faults_mod.install(previous_plan)
         config = {
             "engines": [spec.to_string() for spec in self.specs],
             "model": self.model,

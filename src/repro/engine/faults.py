@@ -1,0 +1,373 @@
+"""Deterministic, seeded fault injection across the whole stack.
+
+Chaos testing only pays off when a failing run can be replayed: a fault
+plan here is a *pure function* — whether call N of site S fails is fully
+determined by ``(plan seed, site, kind, key, attempt)``, never by wall
+clock, scheduling, or a shared RNG stream.  Two consequences:
+
+* A faulted campaign is reproducible bit-for-bit: rerunning with the same
+  plan injects the same faults at the same points.
+* Recovery is *provably* bounded.  A fault decision at ``attempt >=
+  depth`` always comes back ``False``, so any retry loop with more than
+  ``depth`` attempts is guaranteed to eventually reach the real
+  operation.  The stock policies in :mod:`repro.engine.retry` use four
+  attempts against the default depth of two — a plan cannot starve them
+  unless ``depth`` is raised explicitly to model a hard outage.
+
+Plans are written as spec strings so they cross the fork boundary the
+same way engine specs do (see DESIGN.md, "worker globals"): either via
+the ``REPRO_FAULTS`` environment variable or as explicit task arguments::
+
+    REPRO_FAULTS="llm:rate=0.1;worker:crash=0.05;cache:io=0.02,seed=7"
+
+Each ``;``-separated clause names a site; its ``,``-separated
+assignments set per-kind rates in ``[0, 1]``.  The global options
+``seed``, ``depth``, and ``hang_seconds`` may ride in any clause.
+Supported sites and kinds:
+
+=========  ===================  =============================================
+site       kinds                effect at the hook
+=========  ===================  =============================================
+``llm``    ``rate``,            transient error / transient timeout raised
+           ``timeout``          before any accounting; retried by the client
+``worker`` ``crash``, ``hang``  process-pool worker ``os._exit``\\ s (shard is
+                                re-dispatched) / sleeps ``hang_seconds``
+``cache``  ``io``               :class:`CacheIOFault` at the disk layer;
+                                degrades to a miss, never crashes
+``service`` ``fail``            transient job failure before execution;
+                                retried by the service job runner
+=========  ===================  =============================================
+
+Injection sites call :func:`maybe_inject` (raising sites) or the plan's
+:meth:`FaultPlan.hang`/:meth:`FaultPlan.crash` helpers; every injected
+fault is counted in the process-wide :data:`FAULT_STATS`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: ``site -> valid kinds`` for plan validation.
+SITES: dict[str, tuple[str, ...]] = {
+    "llm": ("rate", "timeout"),
+    "worker": ("crash", "hang"),
+    "cache": ("io",),
+    "service": ("fail",),
+}
+
+#: Options that configure the whole plan rather than one site.
+GLOBAL_OPTIONS = ("seed", "depth", "hang_seconds")
+
+#: Consecutive-failure bound: decisions at ``attempt >= depth`` are
+#: always ``False``, so retry loops with ``attempts > depth`` terminate.
+DEFAULT_DEPTH = 2
+
+DEFAULT_HANG_SECONDS = 0.05
+
+
+class FaultSpecError(ValueError):
+    """A fault plan string does not parse or names an unknown site/kind."""
+
+
+class InjectedFault(Exception):
+    """Base class for every deliberately injected failure."""
+
+
+class TransientLLMError(InjectedFault):
+    """Injected transient model failure (retried by the LLM client)."""
+
+
+class TransientLLMTimeout(TransientLLMError):
+    """Injected model timeout — a flavour of transient LLM failure."""
+
+
+class TransientServiceError(InjectedFault):
+    """Injected transient job failure (retried by the service runner)."""
+
+
+class CacheIOFault(InjectedFault, OSError):
+    """Injected cache I/O error.  Subclasses :class:`OSError` so the
+    cache's existing corrupt-entry handling degrades it to a miss."""
+
+
+class FaultStats:
+    """Process-wide injected-fault counters (``site:kind -> count``).
+
+    Mirrors :class:`repro.miri.DetectorStats`: lock-guarded, with a
+    consistent :meth:`snapshot` for telemetry endpoints and benchmarks.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def record(self, site: str, kind: str) -> None:
+        with self._lock:
+            label = f"{site}:{kind}"
+            self._counts[label] = self._counts.get(label, 0) + 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"injected": dict(sorted(self._counts.items())),
+                    "total": sum(self._counts.values())}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+FAULT_STATS = FaultStats()
+
+
+class FaultPlan:
+    """An immutable set of per-``(site, kind)`` fault rates plus the seed
+    that makes every injection decision deterministic."""
+
+    __slots__ = ("_rates", "seed", "depth", "hang_seconds")
+
+    def __init__(self, rates: dict | None = None, *, seed: int = 0,
+                 depth: int = DEFAULT_DEPTH,
+                 hang_seconds: float = DEFAULT_HANG_SECONDS):
+        rates = dict(rates or {})
+        for (site, kind), rate in rates.items():
+            _validate(site, kind, rate)
+        if depth < 0:
+            raise FaultSpecError("depth must be >= 0")
+        if hang_seconds < 0:
+            raise FaultSpecError("hang_seconds must be >= 0")
+        self._rates = {key: float(rate)
+                       for key, rate in rates.items() if rate > 0}
+        self.seed = int(seed)
+        self.depth = int(depth)
+        self.hang_seconds = float(hang_seconds)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultPlan":
+        """Parse a plan spec string (see the module docstring grammar)."""
+        text = (text or "").strip()
+        if not text:
+            return EMPTY_PLAN
+        rates: dict = {}
+        options = {"seed": 0, "depth": DEFAULT_DEPTH,
+                   "hang_seconds": DEFAULT_HANG_SECONDS}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            site, colon, body = clause.partition(":")
+            site = site.strip()
+            if not colon:
+                body, site = site, ""
+            for assignment in body.split(","):
+                assignment = assignment.strip()
+                if not assignment:
+                    continue
+                name, equals, raw = assignment.partition("=")
+                name = name.strip()
+                if not equals:
+                    raise FaultSpecError(
+                        f"expected name=value, got {assignment!r}")
+                try:
+                    value = float(raw.strip())
+                except ValueError:
+                    raise FaultSpecError(
+                        f"non-numeric value in {assignment!r}") from None
+                if name in GLOBAL_OPTIONS:
+                    options[name] = value
+                elif site:
+                    rates[(site, name)] = value
+                else:
+                    raise FaultSpecError(
+                        f"{name!r} is not a global option and the clause "
+                        f"{clause!r} names no site")
+        return cls(rates, seed=int(options["seed"]),
+                   depth=int(options["depth"]),
+                   hang_seconds=options["hang_seconds"])
+
+    @classmethod
+    def coerce(cls, value) -> "FaultPlan":
+        """``None`` -> the ambient plan; a string -> parsed; a plan -> itself."""
+        if value is None:
+            return active_plan()
+        if isinstance(value, FaultPlan):
+            return value
+        return cls.parse(str(value))
+
+    def to_string(self) -> str:
+        """Canonical spec string; ``parse(to_string())`` round-trips."""
+        clauses = [f"{site}:{kind}={rate:g}"
+                   for (site, kind), rate in sorted(self._rates.items())]
+        options = []
+        if self.seed:
+            options.append(f"seed={self.seed}")
+        if self.depth != DEFAULT_DEPTH:
+            options.append(f"depth={self.depth}")
+        if self.hang_seconds != DEFAULT_HANG_SECONDS:
+            options.append(f"hang_seconds={self.hang_seconds:g}")
+        if options and not clauses:
+            return ";".join([",".join(options)])
+        if options:
+            clauses[-1] += "," + ",".join(options)
+        return ";".join(clauses)
+
+    # -- decisions ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._rates)
+
+    def rate(self, site: str, kind: str) -> float:
+        return self._rates.get((site, kind), 0.0)
+
+    def decide(self, site: str, kind: str, key: str,
+               attempt: int = 0) -> bool:
+        """Deterministically decide whether this injection point fires.
+
+        The decision hashes ``(seed, site, kind, key, attempt)`` into
+        ``[0, 1)`` and compares against the configured rate — no shared
+        RNG stream, so decisions are independent of call order and of
+        which worker evaluates them.  ``attempt >= depth`` is always
+        ``False``: consecutive failures of one logical operation are
+        bounded, which is what makes recovery provable.
+        """
+        rate = self._rates.get((site, kind))
+        if not rate:
+            return False
+        if attempt >= self.depth:
+            return False
+        material = f"{self.seed}|{site}|{kind}|{key}|{attempt}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return unit < rate
+
+    # -- worker-site helpers ----------------------------------------------
+
+    def hang(self, key: str, attempt: int = 0) -> None:
+        """Sleep ``hang_seconds`` if the ``worker:hang`` decision fires."""
+        if self.decide("worker", "hang", key, attempt):
+            FAULT_STATS.record("worker", "hang")
+            time.sleep(self.hang_seconds)
+
+    def crash(self, key: str, attempt: int = 0) -> None:
+        """``os._exit`` the process if the ``worker:crash`` decision fires.
+
+        Only ever called from process-pool workers: the parent observes a
+        ``BrokenProcessPool`` and re-dispatches the uncollected shards.
+        """
+        if self.decide("worker", "crash", key, attempt):
+            FAULT_STATS.record("worker", "crash")
+            os._exit(3)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.to_string()!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return (self._rates == other._rates and self.seed == other.seed
+                and self.depth == other.depth
+                and self.hang_seconds == other.hang_seconds)
+
+
+def _validate(site: str, kind: str, rate) -> None:
+    kinds = SITES.get(site)
+    if kinds is None:
+        raise FaultSpecError(
+            f"unknown fault site {site!r} (sites: {', '.join(SITES)})")
+    if kind not in kinds:
+        raise FaultSpecError(
+            f"site {site!r} has no fault kind {kind!r} "
+            f"(kinds: {', '.join(kinds)})")
+    try:
+        rate = float(rate)
+    except (TypeError, ValueError):
+        raise FaultSpecError(f"rate for {site}:{kind} is not a number") from None
+    if not 0.0 <= rate <= 1.0:
+        raise FaultSpecError(
+            f"rate for {site}:{kind} must be in [0, 1], got {rate:g}")
+
+
+EMPTY_PLAN = FaultPlan()
+
+
+# ---------------------------------------------------------------------------
+# The ambient plan: an explicit in-process override wins, else REPRO_FAULTS.
+
+_override: FaultPlan | None = None
+_env_cache: tuple[str, FaultPlan] | None = None
+_env_lock = threading.Lock()
+
+
+def active_plan() -> FaultPlan:
+    """The plan injection sites consult: the installed override if any,
+    else the parsed ``REPRO_FAULTS`` environment variable, else empty."""
+    if _override is not None:
+        return _override
+    raw = os.environ.get(ENV_VAR, "")
+    if not raw:
+        return EMPTY_PLAN
+    global _env_cache
+    with _env_lock:
+        if _env_cache is None or _env_cache[0] != raw:
+            _env_cache = (raw, FaultPlan.parse(raw))
+        return _env_cache[1]
+
+
+def install(plan) -> FaultPlan | None:
+    """Set (or with ``None``, clear) the process-wide plan override.
+
+    Returns the previous override so callers can scope an installation::
+
+        previous = install(my_plan)
+        try:
+            ...
+        finally:
+            install(previous)
+    """
+    global _override
+    previous = _override
+    _override = FaultPlan.coerce(plan) if plan is not None else None
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Raising injection hooks (one call per site in the production code).
+
+_RAISERS = {
+    ("llm", "timeout"): lambda key: TransientLLMTimeout(
+        f"injected model timeout ({key})"),
+    ("llm", "rate"): lambda key: TransientLLMError(
+        f"injected transient model error ({key})"),
+    ("cache", "io"): lambda key: CacheIOFault(
+        f"injected cache I/O error ({key})"),
+    ("service", "fail"): lambda key: TransientServiceError(
+        f"injected transient job failure ({key})"),
+}
+
+#: Per-site probe order (``llm`` checks timeouts before plain errors).
+_SITE_KINDS = {"llm": ("timeout", "rate"), "cache": ("io",),
+               "service": ("fail",)}
+
+
+def maybe_inject(site: str, *, key: str, attempt: int = 0,
+                 plan: FaultPlan | None = None) -> None:
+    """Raise the site's injected fault if the active plan says so.
+
+    No-op (and near-free) when no plan is active.  ``attempt`` is the
+    caller's zero-based retry attempt; passing it through is what bounds
+    consecutive failures to the plan's ``depth``.
+    """
+    plan = plan if plan is not None else active_plan()
+    if not plan.enabled:
+        return
+    for kind in _SITE_KINDS.get(site, ()):
+        if plan.decide(site, kind, key, attempt):
+            FAULT_STATS.record(site, kind)
+            raise _RAISERS[(site, kind)](key)

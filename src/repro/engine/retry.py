@@ -1,0 +1,167 @@
+"""Retry with capped exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` retries *transient* failures — injected faults
+from :mod:`repro.engine.faults`, broken process pools, connection resets
+— while preserving the repository's core invariant: **outcomes are
+byte-identical to the fault-free run**.  That holds because every
+retried operation replays the same derived seed stream (the LLM client
+only advances its call index on success; shard workers rebuild engines
+from the same ``(spec, seed, index)``), and because the backoff jitter
+is itself deterministic: a hash of ``(policy seed, key, attempt)``, not
+a shared RNG, so delays never perturb any seeded stream.
+
+Retry telemetry flows through two channels:
+
+* the process-wide :data:`RETRY_EVENTS` notifier, which campaigns
+  subscribe to for the duration of a run so every retry — LLM-level or
+  shard-level — surfaces as an ``on_retry``
+  :class:`~repro.engine.telemetry.RetryAttempted` event;
+* an optional per-call ``on_retry`` callback (the service wires its
+  :class:`~repro.service.jobs.EventLog` here).
+
+Neither channel feeds any serialized artifact: retry counts are
+wall-clock diagnostics, and folding them into ``campaign.json`` would
+break the byte-identity gates they exist to protect.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .telemetry import RetryAttempted
+
+
+class RetryNotifier:
+    """Process-wide fan-out for :class:`RetryAttempted` events.
+
+    Thread-safe: emissions may come from pool worker threads while a
+    campaign observer is subscribed.  Counters survive unsubscription so
+    benchmarks can assert "retries happened" after the fact.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._subscribers: list = []
+        self._counts: dict[str, int] = {}
+
+    def emit(self, event: RetryAttempted) -> None:
+        with self._lock:
+            self._counts[event.site] = self._counts.get(event.site, 0) + 1
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback) -> None:
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        with self._lock:
+            with contextlib.suppress(ValueError):
+                self._subscribers.remove(callback)
+
+    @contextlib.contextmanager
+    def subscribed(self, callback):
+        self.subscribe(callback)
+        try:
+            yield self
+        finally:
+            self.unsubscribe(callback)
+
+    def counts(self) -> dict:
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+RETRY_EVENTS = RetryNotifier()
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempts`` counts *total* tries, so ``attempts=4`` means one
+    initial try plus up to three retries.  Keep ``attempts`` above the
+    fault plan's ``depth`` (default 2) and injected faults can never
+    exhaust the budget — see :mod:`repro.engine.faults`.
+
+    ``sleep`` is injectable for tests and benchmarks that must not pay
+    real backoff wall-clock.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: Max jitter as a fraction of the capped delay (0 disables it).
+    jitter: float = 0.5
+    seed: int = 0
+    sleep: "object" = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt + 1`` (zero-based).
+
+        Deterministic: the jitter fraction is a hash of
+        ``(seed, key, attempt)``, so the same failure sequence always
+        backs off identically — reproducible wall-clock, and no draw
+        from any RNG an experiment depends on.
+        """
+        capped = min(self.max_delay,
+                     self.base_delay * self.multiplier ** attempt)
+        if not self.jitter or not capped:
+            return capped
+        material = f"{self.seed}|{key}|{attempt}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return capped * (1.0 + self.jitter * unit)
+
+    def run(self, operation, *, site: str, key: str, retryable,
+            on_retry=None):
+        """Call ``operation(attempt)`` until it succeeds or the budget ends.
+
+        ``operation`` receives the zero-based attempt number — injection
+        sites pass it to :func:`~repro.engine.faults.maybe_inject`, which
+        is what bounds consecutive injected failures.  Only ``retryable``
+        exceptions are retried; the final failure propagates unchanged.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return operation(attempt)
+            except retryable as exc:
+                if attempt + 1 >= self.attempts:
+                    raise
+                delay = self.delay_for(attempt, key)
+                event = RetryAttempted(
+                    site=site, key=key, attempt=attempt + 1,
+                    max_attempts=self.attempts, delay_seconds=delay,
+                    error=f"{type(exc).__name__}: {exc}")
+                RETRY_EVENTS.emit(event)
+                if on_retry is not None:
+                    on_retry(event)
+                self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Stock policies.  Delays are tiny: transient faults here are simulated,
+#: so backoff only needs to be *shaped* correctly, not production-sized.
+LLM_RETRY = RetryPolicy(attempts=4, base_delay=0.002, max_delay=0.05)
+SERVICE_RETRY = RetryPolicy(attempts=4, base_delay=0.01, max_delay=0.25)
+CAMPAIGN_RETRY = RetryPolicy(attempts=4, base_delay=0.05, max_delay=0.5)

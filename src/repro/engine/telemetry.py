@@ -106,9 +106,30 @@ class CacheQueried:
     key: str
 
 
+@dataclass(frozen=True)
+class RetryAttempted:
+    """A transient failure was retried (LLM call, worker shard
+    re-dispatch, service job, or HTTP client reconnect).
+
+    Emitted *before* the backoff sleep for retry number ``attempt`` (one-
+    based; ``max_attempts`` is the policy's total-try budget).  Retry
+    events are wall-clock diagnostics: :class:`TelemetryLog` records them
+    but deliberately keeps them out of :meth:`TelemetryLog.to_dict`, so a
+    faulted-but-recovered campaign still serializes byte-identical to a
+    fault-free one.
+    """
+
+    site: str
+    key: str
+    attempt: int
+    max_attempts: int
+    delay_seconds: float
+    error: str
+
+
 CampaignEvent = (EngineStarted | EngineFinished | CaseStarted
                  | CaseFinished | RoundFinished | MemberFinished
-                 | CacheQueried)
+                 | CacheQueried | RetryAttempted)
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +160,9 @@ class CampaignObserver:
     def on_cache(self, event: CacheQueried) -> None:
         pass
 
+    def on_retry(self, event: RetryAttempted) -> None:
+        pass
+
 
 @dataclass
 class TelemetryLog(CampaignObserver):
@@ -167,6 +191,9 @@ class TelemetryLog(CampaignObserver):
     def on_cache(self, event: CacheQueried) -> None:
         self.events.append(event)
 
+    def on_retry(self, event: RetryAttempted) -> None:
+        self.events.append(event)
+
     # -- summaries ---------------------------------------------------------
 
     def count(self, event_type: type) -> int:
@@ -180,7 +207,13 @@ class TelemetryLog(CampaignObserver):
         return hits, misses
 
     def to_dict(self) -> dict:
-        """Deterministic summary: counts only, never arrival order."""
+        """Deterministic summary: counts only, never arrival order.
+
+        :class:`RetryAttempted` events are deliberately absent — retry
+        counts depend on the active fault plan and on pool scheduling,
+        and this summary is embedded in ``campaign.json``, which must
+        stay byte-identical between faulted and fault-free runs.
+        """
         hits, misses = self.cache_counts()
         return {
             "engines": self.count(EngineFinished),
@@ -221,6 +254,11 @@ class ProgressPrinter(CampaignObserver):
         self._emit(f"[{event.engine}] round {event.round_index + 1}"
                    f"/{event.rounds}: {event.completed}/{event.total} cases,"
                    f" {event.passed_so_far} passed")
+
+    def on_retry(self, event: RetryAttempted) -> None:
+        self._emit(f"[{event.site}] transient failure, retry "
+                   f"{event.attempt}/{event.max_attempts - 1} in "
+                   f"{event.delay_seconds:.2f}s: {event.error}")
 
     def on_case_done(self, event: CaseFinished) -> None:
         if self.per_case:

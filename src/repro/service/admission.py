@@ -1,13 +1,17 @@
-"""Admission control primitives: per-client token buckets.
+"""Admission control primitives: token buckets, circuit breaker, drain
+estimates.
 
-The server's admission layer has two gates — the per-client rate limit
-here (HTTP 429) and the bounded job queue in the server itself (HTTP 503).
-Both answer rejections with ``Retry-After`` so well-behaved clients back
-off instead of hammering.
+The server's admission layer has three gates — the per-client rate limit
+here (HTTP 429), the bounded job queue in the server itself (HTTP 503),
+and the per-server :class:`CircuitBreaker` (HTTP 503 while the engine
+substrate is failing consecutively).  All rejections answer with
+``Retry-After`` so well-behaved clients back off instead of hammering;
+the queue-full estimate comes from :class:`DrainEstimator`'s observed
+mean job duration.
 
-Everything in this module is loop-confined: the server only touches a
-:class:`RateLimiter` from its event loop, so no locks are needed.  The
-clock is injectable (monotonic seconds) for deterministic tests, mirroring
+Everything in this module is loop-confined: the server only touches
+these objects from its event loop, so no locks are needed.  The clock is
+injectable (monotonic seconds) for deterministic tests, mirroring
 ``engine/pool.py``'s idle-reap testing seam.
 """
 
@@ -99,6 +103,138 @@ class RateLimiter:
 
     def clients(self) -> int:
         return len(self._buckets)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    States follow the classic automaton, driven entirely by the injected
+    clock and the observed job outcomes — no randomness, so transitions
+    are deterministic and ``benchmarks/chaos_smoke.py`` can gate them:
+
+    * **closed** — requests flow; ``threshold`` *consecutive* failures
+      trip the breaker (one success resets the count).
+    * **open** — requests are rejected with the seconds remaining until
+      the reset window elapses (the server maps this to 503 +
+      ``Retry-After``).
+    * **half-open** — after ``reset_seconds``, exactly one probe request
+      is admitted; success closes the breaker, failure re-opens it for a
+      fresh window.  Further requests during the probe stay rejected.
+    """
+
+    def __init__(self, threshold: int = 5, reset_seconds: float = 30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if not reset_seconds > 0:
+            raise ValueError("reset_seconds must be > 0, "
+                             f"got {reset_seconds!r}")
+        self.threshold = threshold
+        self.reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half_open"
+        elapsed = self._clock() - self._opened_at
+        return "half_open" if elapsed >= self.reset_seconds else "open"
+
+    def allow(self) -> tuple[bool, float]:
+        """``(admit, retry_after_seconds)`` for one incoming request.
+
+        A half-open admission *is* the probe: the caller must report the
+        job's outcome via :meth:`record_success`/:meth:`record_failure`,
+        or :meth:`abort_probe` if the request never became a job.
+        """
+        state = self.state
+        if state == "closed":
+            return True, 0.0
+        if state == "open":
+            remaining = (self._opened_at + self.reset_seconds
+                         - self._clock())
+            return False, max(remaining, 1e-3)
+        if self._probing:
+            # One probe in flight; advise waiting roughly its duration.
+            return False, max(self.reset_seconds / 2.0, 1e-3)
+        self._probing = True
+        return True, 0.0
+
+    def abort_probe(self) -> None:
+        """The admitted probe was rejected downstream (queue full, bad
+        payload) before becoming a job; free the slot for the next one."""
+        self._probing = False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        if self._probing or (self._opened_at is not None
+                             and self.state == "half_open"):
+            # Failed probe: re-open for a fresh window.
+            self._opened_at = self._clock()
+            self._probing = False
+            return
+        if self._opened_at is not None:
+            # A straggler job from before the trip; stay open, and do not
+            # extend the window (probe timing must stay deterministic).
+            return
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._opened_at = self._clock()
+
+    def to_dict(self) -> dict:
+        """Snapshot for ``/stats``."""
+        return {"state": self.state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "reset_seconds": self.reset_seconds}
+
+
+class DrainEstimator:
+    """Observed mean job duration, seeded with a sane default.
+
+    Backs the queue-full 503's ``Retry-After``: *estimated queue drain
+    time* = pending jobs × mean job seconds ÷ workers.  Before any job
+    has completed the estimate uses ``default_seconds`` — a deliberate
+    prior rather than a magic constant buried in the server — and after
+    that a running mean over everything observed, which is stabler than
+    the previous EWMA cold-start guess for the short bursty jobs the
+    simulated engines produce.
+    """
+
+    def __init__(self, default_seconds: float = 1.0):
+        if not default_seconds > 0:
+            raise ValueError("default_seconds must be > 0, "
+                             f"got {default_seconds!r}")
+        self.default_seconds = float(default_seconds)
+        self._total = 0.0
+        self._count = 0
+
+    def observe(self, seconds: float) -> None:
+        self._total += max(0.0, float(seconds))
+        self._count += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        if self._count == 0:
+            return self.default_seconds
+        return self._total / self._count
+
+    def estimate(self, pending: int, workers: int) -> float:
+        """Seconds until a queue of ``pending`` jobs drains (>= 0.1)."""
+        return max(0.1, pending * self.mean_seconds / max(1, workers))
+
+    def to_dict(self) -> dict:
+        return {"mean_seconds": self.mean_seconds,
+                "observed_jobs": self._count}
 
 
 def retry_after_header(seconds: float) -> str:

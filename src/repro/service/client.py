@@ -4,12 +4,50 @@ Just enough protocol for the server's dialect — one request per
 connection, JSON bodies, ``Content-Length`` responses, SSE streams —
 shared by the service tests and ``benchmarks/service_smoke.py`` so
 neither grows its own socket plumbing.  Not a general HTTP client.
+
+Connections that are refused or reset mid-handshake are retried with
+:data:`CONNECT_RETRY` (same capped-backoff/deterministic-jitter policy
+as the engine's LLM retries, awaited on the event loop instead of
+blocking); each attempt is announced on
+:data:`~repro.engine.retry.RETRY_EVENTS`.  An HTTP *response* is never
+retried here — status handling stays with the caller.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+
+from ..engine.retry import RETRY_EVENTS, RetryPolicy
+from ..engine.telemetry import RetryAttempted
+
+#: Connection-level transient policy: short fuse, the server restarts or
+#: sheds load in well under a second in the scenarios we model.
+CONNECT_RETRY = RetryPolicy(attempts=4, base_delay=0.05, max_delay=0.5)
+
+#: The errors worth a reconnect — the TCP dial failed or died before a
+#: response head arrived.  Anything later is the caller's problem.
+_CONNECT_ERRORS = (ConnectionRefusedError, ConnectionResetError,
+                   BrokenPipeError)
+
+
+async def _open_connection(host: str, port: int, *, key: str,
+                           retry: RetryPolicy | None = None):
+    """``asyncio.open_connection`` with transient-dial retries."""
+    policy = retry if retry is not None else CONNECT_RETRY
+    for attempt in range(policy.attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except _CONNECT_ERRORS as exc:
+            if attempt + 1 >= policy.attempts:
+                raise
+            delay = policy.delay_for(attempt, key)
+            RETRY_EVENTS.emit(RetryAttempted(
+                site="client", key=key, attempt=attempt + 1,
+                max_attempts=policy.attempts, delay_seconds=delay,
+                error=f"{type(exc).__name__}: {exc}"))
+            await asyncio.sleep(delay)
+    raise RuntimeError("unreachable")  # pragma: no cover
 
 
 class ServiceResponse:
@@ -29,8 +67,8 @@ class ServiceResponse:
 
 
 async def request(host: str, port: int, method: str, path: str, *,
-                  payload=None, headers: dict[str, str] | None = None
-                  ) -> ServiceResponse:
+                  payload=None, headers: dict[str, str] | None = None,
+                  retry: RetryPolicy | None = None) -> ServiceResponse:
     """One HTTP exchange; the connection is closed afterwards."""
     body = (json.dumps(payload).encode("utf-8")
             if payload is not None else b"")
@@ -41,7 +79,8 @@ async def request(host: str, port: int, method: str, path: str, *,
         lines.append(f"Content-Length: {len(body)}")
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _open_connection(
+        host, port, key=f"{method} {path}", retry=retry)
     try:
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
                      + body)
@@ -92,7 +131,8 @@ async def read_sse(host: str, port: int, path: str
                    ) -> list[tuple[str, dict]]:
     """Collect a whole SSE stream (the server ends it at the terminal
     frame) as ``(event_name, decoded_data)`` tuples."""
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _open_connection(host, port,
+                                            key=f"GET {path}")
     try:
         writer.write((f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
                       "Connection: close\r\n\r\n").encode("latin-1"))

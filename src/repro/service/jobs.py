@@ -25,11 +25,13 @@ import threading
 
 from ..engine.cache import ResultCache, case_key, fingerprint_case
 from ..engine.campaign import case_seed, hoist_pinned_seed
+from ..engine.faults import TransientServiceError, maybe_inject
 from ..engine.registry import create_engine
+from ..engine.retry import SERVICE_RETRY, RetryPolicy
 from ..engine.spec import EngineSpec, SpecError, arm_label
 from ..engine.telemetry import (CacheQueried, CampaignObserver, CaseFinished,
                                 CaseStarted, EngineFinished, EngineStarted,
-                                MemberFinished, RoundFinished)
+                                MemberFinished, RetryAttempted, RoundFinished)
 from ..engine.types import RepairRequest, run_request
 from ..miri import source_fingerprint
 from ..miri.errors import UbKind
@@ -196,20 +198,34 @@ def cache_key_for(config: JobConfig) -> str:
                                      request.difficulty, request.category))
 
 
+#: Default per-job telemetry frame cap.  A single-case job emits a dozen
+#: frames; hundreds means a runaway producer, and an unbounded buffer is
+#: a memory leak the moment jobs fail in a flood.
+EVENT_LOG_MAX_FRAMES = 512
+
+
 class EventLog(CampaignObserver):
     """Thread-safe telemetry frame buffer with asyncio wake-ups.
 
     Engine threads append ``(event_name, payload)`` frames through the
     observer hooks; async consumers iterate :meth:`stream`.  Frames are
-    never dropped — a reader attaching after completion still replays
-    the full stream.
+    never dropped below the ``max_frames`` bound — a reader attaching
+    after completion still replays the full stream.  At the bound, one
+    ``events_truncated`` marker is appended and further non-terminal
+    frames are counted but discarded (the terminal frame always lands,
+    so streams still finish).
     """
 
-    def __init__(self, loop: asyncio.AbstractEventLoop | None = None):
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None,
+                 max_frames: int = EVENT_LOG_MAX_FRAMES):
+        if max_frames < 2:
+            raise ValueError(f"max_frames must be >= 2, got {max_frames}")
         self._loop = loop
+        self._max_frames = max_frames
         self._lock = threading.Lock()
         self._frames: list[tuple[str, dict]] = []
         self._done = False
+        self._dropped = 0
         self._wakeup = asyncio.Event()
 
     # -- producer side (any thread) ----------------------------------------
@@ -219,8 +235,20 @@ class EventLog(CampaignObserver):
         with self._lock:
             if self._done:
                 return
+            if len(self._frames) >= self._max_frames - 1:
+                if self._dropped == 0:
+                    self._frames.append(
+                        ("events_truncated",
+                         {"max_frames": self._max_frames}))
+                self._dropped += 1
+                return
             self._frames.append(frame)
         self._poke()
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
 
     def _poke(self) -> None:
         if self._loop is None:
@@ -251,6 +279,9 @@ class EventLog(CampaignObserver):
 
     def on_engine_done(self, event: EngineFinished) -> None:
         self._append("engine_finished", event)
+
+    def on_retry(self, event: RetryAttempted) -> None:
+        self._append("retry_attempted", event)
 
     def mark_done(self, name: str, payload: dict) -> None:
         """Append the terminal frame and end every stream."""
@@ -291,7 +322,8 @@ class EventLog(CampaignObserver):
 
 
 def execute_repair(config: JobConfig, *, cache: ResultCache | None = None,
-                   observer: CampaignObserver | None = None):
+                   observer: CampaignObserver | None = None,
+                   retry: RetryPolicy | None = None):
     """Run one request exactly as a one-case campaign arm would.
 
     Event order per the campaign contract: ``engine_started`` →
@@ -300,8 +332,30 @@ def execute_repair(config: JobConfig, *, cache: ResultCache | None = None,
     ``engine_finished``.  Cache hits replay the stored report with the
     identical stream; misses run a fresh per-case engine and write back.
     Returns the :class:`~repro.engine.types.RepairReport`.
+
+    When a fault plan enables the ``service`` site, an injected transient
+    failure may fire *before* any telemetry is emitted; it is retried
+    with deterministic backoff (``retry_attempted`` frames precede
+    ``engine_started`` in that case), so the recovered event stream and
+    report are byte-identical to a fault-free execution.
     """
     emit = observer if observer is not None else CampaignObserver()
+    policy = retry if retry is not None else SERVICE_RETRY
+    fault_key = (f"{config.label}|{config.request.name}"
+                 f"|{config.seed}|{config.request.index}")
+
+    def attempt_once(attempt: int):
+        maybe_inject("service", key=fault_key, attempt=attempt)
+        return _execute_repair_inner(config, cache=cache, emit=emit)
+
+    return policy.run(attempt_once, site="service", key=fault_key,
+                      retryable=TransientServiceError,
+                      on_retry=emit.on_retry)
+
+
+def _execute_repair_inner(config: JobConfig, *,
+                          cache: ResultCache | None,
+                          emit: CampaignObserver):
     request = config.request
     label = config.label
     base_seed, run_spec = hoist_pinned_seed(config.spec, config.seed)

@@ -14,7 +14,9 @@ Three layers between the socket and the engine:
 
 * **Admission** — a per-client token bucket answers bursts with 429 +
   ``Retry-After``; a bounded job queue answers saturation with 503 +
-  ``Retry-After``.  The server holds one long-lived
+  ``Retry-After``; a per-server circuit breaker answers consecutive
+  engine failures with 503 + ``Retry-After`` until a half-open probe
+  succeeds.  The server holds one long-lived
   :meth:`~repro.engine.pool.ExecutorService.lease` for its worker pool,
   so its concurrency is charged against the same
   :class:`~repro.engine.pool.CoreBudget` that clamps nested engine
@@ -44,10 +46,12 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from ..engine.cache import ResultCache
+from ..engine.faults import FAULT_STATS
 from ..engine.pool import EXECUTOR_SERVICE, ExecutorService
 from ..miri import CASE_MEMO, DETECTOR_STATS
 from . import jobs
-from .admission import RateLimiter, retry_after_header
+from .admission import (CircuitBreaker, DrainEstimator, RateLimiter,
+                        retry_after_header)
 from .jobs import EventLog, JobConfig, RequestError, coalesce_key
 
 #: Request framing limits; past either the request is rejected, not read.
@@ -108,6 +112,7 @@ class Counters:
     coalesced: int = 0
     rejected_rate: int = 0
     rejected_queue: int = 0
+    rejected_breaker: int = 0
     rejected_invalid: int = 0
     completed: int = 0
     failed: int = 0
@@ -128,9 +133,15 @@ class RepairServer:
                  cache: ResultCache | None = None,
                  executor_service: ExecutorService | None = None,
                  default_timeout_seconds: float | None = None,
+                 breaker_threshold: int = 8,
+                 breaker_reset_seconds: float = 30.0,
+                 finished_jobs_kept: int = FINISHED_JOBS_KEPT,
                  clock=time.monotonic):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if finished_jobs_kept < 1:
+            raise ValueError("finished_jobs_kept must be >= 1, "
+                             f"got {finished_jobs_kept}")
         self.host = host
         self.port = port
         self._service = (executor_service if executor_service is not None
@@ -145,9 +156,13 @@ class RepairServer:
         self.max_queue = max_queue
         self.cache = cache
         self.default_timeout_seconds = default_timeout_seconds
+        self.finished_jobs_kept = finished_jobs_kept
         self._clock = clock
         self.limiter = (RateLimiter(rate, burst, clock=clock)
                         if rate > 0 else None)
+        self.breaker = CircuitBreaker(breaker_threshold,
+                                      breaker_reset_seconds, clock=clock)
+        self.estimator = DrainEstimator()
         self.counters = Counters()
         self._queue: deque[Job] = deque()
         self._running: set[Job] = set()
@@ -155,7 +170,6 @@ class RepairServer:
         self._jobs: OrderedDict[str, Job] = OrderedDict()
         self._finished_order: deque[str] = deque()
         self._next_id = 0
-        self._avg_wall_seconds = 1.0
         self._draining = False
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.Server | None = None
@@ -341,7 +355,17 @@ class RepairServer:
         await self._reply_for(writer, job, config, coalesced)
 
     def _admit(self, config: JobConfig, key: tuple) -> Job:
+        admitted, wait = self.breaker.allow()
+        if not admitted:
+            self.counters.rejected_breaker += 1
+            raise _HttpError(
+                503, f"circuit open ({self.breaker.state}); "
+                     f"retry in ~{wait:.1f}s",
+                headers=(("Retry-After", retry_after_header(wait)),))
         if len(self._queue) >= self.max_queue:
+            # A half-open probe admission must not be stranded by a full
+            # queue — free the slot for the next prober.
+            self.breaker.abort_probe()
             self.counters.rejected_queue += 1
             wait = self._drain_estimate()
             raise _HttpError(
@@ -361,7 +385,7 @@ class RepairServer:
 
     def _drain_estimate(self) -> float:
         pending = len(self._queue) + len(self._running)
-        return max(0.1, pending * self._avg_wall_seconds / self.workers)
+        return self.estimator.estimate(pending, self.workers)
 
     async def _reply_for(self, writer, job: Job, config: JobConfig,
                          coalesced: bool) -> None:
@@ -434,11 +458,11 @@ class RepairServer:
         job.finished = self._clock()
         if status == "done":
             self.counters.completed += 1
-            wall = max(0.0, job.finished - job.created)
-            self._avg_wall_seconds = (0.8 * self._avg_wall_seconds
-                                      + 0.2 * wall)
+            self.breaker.record_success()
+            self.estimator.observe(max(0.0, job.finished - job.created))
         elif status == "failed":
             self.counters.failed += 1
+            self.breaker.record_failure()
         else:
             self.counters.cancelled += 1
         if self._inflight.get(job.key) is job:
@@ -447,7 +471,7 @@ class RepairServer:
             "id": job.id, "status": status, "error": error})
         job.done.set()
         self._finished_order.append(job.id)
-        while len(self._finished_order) > FINISHED_JOBS_KEPT:
+        while len(self._finished_order) > self.finished_jobs_kept:
             stale = self._finished_order.popleft()
             self._jobs.pop(stale, None)
 
@@ -499,6 +523,9 @@ class RepairServer:
                 "hit_rate": (counters.coalesced / shareable
                              if shareable else 0.0)},
             "cache": self.cache.counts() if self.cache is not None else None,
+            "breaker": self.breaker.to_dict(),
+            "drain": self.estimator.to_dict(),
+            "faults": FAULT_STATS.snapshot(),
             "detector": DETECTOR_STATS.snapshot(),
             "case_memo": CASE_MEMO.snapshot(),
             "budget": {"total": budget.total, "in_use": budget.in_use,

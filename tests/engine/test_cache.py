@@ -204,10 +204,10 @@ class TestConcurrentAccess:
         cache.get(self.KEY)
         cache.get(case_key("llm_only", "gpt-4", 0.5, 8, "other"))
         assert cache.counts() == {"hits": 1, "misses": 1,
-                                  "memory_entries": 1}
+                                  "memory_entries": 1, "io_errors": 0}
         cache.clear()
         assert cache.counts() == {"hits": 0, "misses": 0,
-                                  "memory_entries": 0}
+                                  "memory_entries": 0, "io_errors": 0}
 
 
 class TestKeying:
@@ -355,3 +355,69 @@ class TestCampaignIntegration:
             Campaign(["llm_only"], dataset,
                      cache=ResultCache(tmp_path / "a"),
                      cache_dir=tmp_path / "b")
+
+
+class TestInjectedIOFaults:
+    """The cache's failure contract: injected I/O errors degrade to
+    misses (counted in ``io_errors``) and never escape to the caller."""
+
+    def test_get_with_injected_fault_is_a_miss(self, cache):
+        from repro.engine.faults import install
+        cache.put("key", [_report()])
+        # A fresh instance over the same directory: the memory layer is
+        # empty, so the read really goes to (faulted) disk.
+        reader = ResultCache(cache.root)
+        previous = install("cache:io=1")
+        try:
+            assert reader.get("key") is None
+        finally:
+            install(previous)
+        counts = reader.counts()
+        assert counts["io_errors"] >= 1
+        assert counts["misses"] == 1
+        # Fault plan gone: the entry was never damaged, only masked.
+        assert reader.get("key") is not None
+
+    def test_put_with_injected_fault_keeps_the_memory_layer(self, cache,
+                                                            tmp_path):
+        from repro.engine.faults import install
+        previous = install("cache:io=1")
+        try:
+            cache.put("key", [_report()])
+            # Disk write was swallowed; in-process readers still hit.
+            assert cache.get("key") is not None
+        finally:
+            install(previous)
+        assert cache.counts()["io_errors"] >= 1
+        # A fresh instance over the same directory sees no entry.
+        assert ResultCache(cache.root).get("key") is None
+
+    def test_concurrent_chaos_never_raises(self, cache):
+        # Threads hammer put/get under a 50% injected I/O failure rate;
+        # the invariant is simply "no exception ever escapes the cache".
+        from repro.engine.faults import install
+        errors = []
+        previous = install("cache:io=0.5,seed=3")
+        try:
+            def hammer(worker):
+                try:
+                    for i in range(50):
+                        key = f"w{worker}-{i % 7}"
+                        cache.put(key, [_report(case=key)])
+                        found = cache.get(key)
+                        # The memory layer always has what we just put.
+                        assert found is not None
+                        cache.get(f"w{(worker + 1) % 8}-{i % 7}")
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(n,))
+                       for n in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            install(previous)
+        assert errors == []
+        assert cache.counts()["io_errors"] > 0

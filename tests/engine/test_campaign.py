@@ -318,6 +318,53 @@ class TestSharedIsolation:
         assert any(report.used_feedback for report in run.arms[0].reports)
 
 
+class TestFaultedCampaigns:
+    """Chaos determinism: campaigns under injected faults stay
+    byte-identical to the fault-free run."""
+
+    def test_llm_faults_leave_outcomes_byte_identical(self, dataset,
+                                                      serial_run):
+        import json
+        faulted = Campaign(ENGINES, dataset, seed=SEED, workers=1,
+                           shard_size=4,
+                           faults="llm:rate=0.3,seed=7").run()
+        clean = serial_run.to_dict()
+        chaos = faulted.to_dict()
+        assert json.dumps(chaos["arms"], sort_keys=True) == \
+            json.dumps(clean["arms"], sort_keys=True)
+        # Retries happened but never entered the serialized telemetry.
+        assert chaos["telemetry"] == clean["telemetry"]
+        assert faulted.telemetry.to_dict() == serial_run.telemetry.to_dict()
+
+    def test_worker_crashes_redispatch_byte_identically(self, dataset,
+                                                        serial_run):
+        import json
+        from repro.engine import EXECUTOR_SERVICE
+        faulted = Campaign(ENGINES, dataset, seed=SEED, workers=2,
+                           shard_size=4, executor="process",
+                           faults="worker:crash=0.4,seed=2").run()
+        assert json.dumps(faulted.to_dict()["arms"], sort_keys=True) == \
+            json.dumps(serial_run.to_dict()["arms"], sort_keys=True)
+        assert EXECUTOR_SERVICE.budget.in_use == 0
+
+    def test_on_retry_telemetry_is_observable(self, dataset):
+        from repro.engine import CampaignObserver
+
+        class Collector(CampaignObserver):
+            def __init__(self):
+                self.retries = []
+
+            def on_retry(self, event):
+                self.retries.append(event)
+
+        collector = Collector()
+        Campaign(ENGINES, dataset, seed=SEED, workers=1,
+                 faults="llm:rate=0.5,seed=1",
+                 observers=[collector]).run()
+        assert collector.retries
+        assert all(event.site == "llm" for event in collector.retries)
+
+
 class TestLegacyShims:
     def test_evaluate_system_matches_run_cases(self, dataset):
         from repro.bench.experiments import evaluate_system, make_system

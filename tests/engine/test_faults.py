@@ -1,0 +1,310 @@
+"""Fault plans, deterministic injection, and retry/backoff policies."""
+
+import pytest
+
+from repro.engine import faults as faults_mod
+from repro.engine.faults import (DEFAULT_DEPTH, EMPTY_PLAN, FAULT_STATS,
+                                 CacheIOFault, FaultPlan, FaultSpecError,
+                                 TransientLLMError, TransientLLMTimeout,
+                                 TransientServiceError, active_plan, install,
+                                 maybe_inject)
+from repro.engine.retry import (LLM_RETRY, RETRY_EVENTS, RetryNotifier,
+                                RetryPolicy)
+from repro.llm.client import LLMClient
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    """Keep every test hermetic: no env plan, no leftover override."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    previous = install(None)
+    yield
+    install(previous)
+
+
+class TestParsing:
+    def test_empty_and_none_give_the_empty_plan(self):
+        assert FaultPlan.parse("") is EMPTY_PLAN
+        assert FaultPlan.parse(None) is EMPTY_PLAN
+        assert not EMPTY_PLAN.enabled
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "llm:rate=0.1;worker:crash=0.05;cache:io=0.02,seed=7")
+        assert plan.rate("llm", "rate") == pytest.approx(0.1)
+        assert plan.rate("worker", "crash") == pytest.approx(0.05)
+        assert plan.rate("cache", "io") == pytest.approx(0.02)
+        assert plan.seed == 7
+        assert plan.depth == DEFAULT_DEPTH
+        assert plan.enabled
+
+    def test_globals_may_ride_in_any_clause(self):
+        plan = FaultPlan.parse("llm:timeout=0.2,depth=3;seed=9")
+        assert plan.depth == 3
+        assert plan.seed == 9
+
+    def test_round_trips_through_to_string(self):
+        for text in ("llm:rate=0.1;worker:crash=0.05;cache:io=0.02,seed=7",
+                     "service:fail=0.5,depth=4,hang_seconds=0.01",
+                     "worker:hang=1,seed=3", ""):
+            plan = FaultPlan.parse(text)
+            assert FaultPlan.parse(plan.to_string()) == plan
+
+    @pytest.mark.parametrize("bad", [
+        "nosuchsite:rate=0.1",          # unknown site
+        "llm:nosuchkind=0.1",           # unknown kind for the site
+        "llm:rate=1.5",                 # rate out of [0, 1]
+        "llm:rate=banana",              # non-numeric
+        "llm:rate",                     # missing '='
+        "rate=0.1",                     # site-less non-global assignment
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+    def test_coerce(self):
+        plan = FaultPlan.parse("llm:rate=0.5")
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce("llm:rate=0.5") == plan
+        assert FaultPlan.coerce(None) is EMPTY_PLAN  # no ambient plan
+
+
+class TestDecisions:
+    def test_decide_is_deterministic_and_order_free(self):
+        plan = FaultPlan.parse("llm:rate=0.3,seed=11")
+        first = [plan.decide("llm", "rate", f"k{i}") for i in range(200)]
+        second = [plan.decide("llm", "rate", f"k{i}") for i in range(200)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_observed_rate_tracks_configured_rate(self):
+        plan = FaultPlan.parse("llm:rate=0.1,seed=1")
+        hits = sum(plan.decide("llm", "rate", f"key{i}")
+                   for i in range(2000))
+        assert 120 < hits < 280  # ~200 expected; generous determinism band
+
+    def test_depth_bounds_consecutive_failures(self):
+        plan = FaultPlan.parse("llm:rate=1,depth=2")
+        assert plan.decide("llm", "rate", "k", attempt=0)
+        assert plan.decide("llm", "rate", "k", attempt=1)
+        assert not plan.decide("llm", "rate", "k", attempt=2)
+        assert not plan.decide("llm", "rate", "k", attempt=99)
+
+    def test_seed_changes_the_decision_pattern(self):
+        base = FaultPlan.parse("llm:rate=0.5,seed=1")
+        other = FaultPlan.parse("llm:rate=0.5,seed=2")
+        pattern = [base.decide("llm", "rate", f"k{i}") for i in range(64)]
+        assert pattern != [other.decide("llm", "rate", f"k{i}")
+                           for i in range(64)]
+
+
+class TestMaybeInject:
+    def test_raises_typed_faults_and_counts_them(self):
+        FAULT_STATS.reset()
+        install("llm:rate=1;cache:io=1;service:fail=1")
+        with pytest.raises(TransientLLMError):
+            maybe_inject("llm", key="a")
+        with pytest.raises(CacheIOFault):
+            maybe_inject("cache", key="a")
+        with pytest.raises(TransientServiceError):
+            maybe_inject("service", key="a")
+        snapshot = FAULT_STATS.snapshot()
+        assert snapshot["injected"]["llm:rate"] >= 1
+        assert snapshot["injected"]["cache:io"] >= 1
+        assert snapshot["total"] >= 3
+
+    def test_timeout_is_a_transient_llm_error(self):
+        install("llm:timeout=1")
+        with pytest.raises(TransientLLMTimeout):
+            maybe_inject("llm", key="x")
+        assert issubclass(TransientLLMTimeout, TransientLLMError)
+
+    def test_cache_fault_is_an_oserror(self):
+        # The cache's existing corrupt-entry handling catches OSError;
+        # the injected fault must ride that path.
+        assert issubclass(CacheIOFault, OSError)
+
+    def test_noop_without_a_plan(self):
+        maybe_inject("llm", key="anything")  # must not raise
+
+    def test_env_var_feeds_active_plan(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "llm:rate=0.25,seed=5")
+        assert active_plan().rate("llm", "rate") == pytest.approx(0.25)
+        monkeypatch.setenv("REPRO_FAULTS", "llm:rate=0.75")
+        assert active_plan().rate("llm", "rate") == pytest.approx(0.75)
+
+    def test_install_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "llm:rate=0.25")
+        previous = install("llm:rate=0.9")
+        try:
+            assert active_plan().rate("llm", "rate") == pytest.approx(0.9)
+        finally:
+            install(previous)
+
+
+class TestRetryPolicy:
+    def test_delays_are_capped_exponential_and_deterministic(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.5,
+                             multiplier=2.0, jitter=0.5)
+        delays = [policy.delay_for(attempt, "key") for attempt in range(6)]
+        assert delays == [policy.delay_for(a, "key") for a in range(6)]
+        for attempt, delay in enumerate(delays):
+            capped = min(0.5, 0.1 * 2.0 ** attempt)
+            assert capped <= delay <= capped * 1.5
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.1, max_delay=10.0,
+                             jitter=0.0)
+        assert [policy.delay_for(a) for a in range(4)] == \
+            [0.1, 0.2, 0.4, 0.8]
+
+    def test_run_retries_then_succeeds(self):
+        calls = []
+        policy = RetryPolicy(attempts=4, base_delay=0, jitter=0,
+                             sleep=lambda _s: None)
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientLLMError("boom")
+            return "ok"
+
+        events = []
+        assert policy.run(flaky, site="llm", key="k",
+                          retryable=TransientLLMError,
+                          on_retry=events.append) == "ok"
+        assert calls == [0, 1, 2]
+        assert [event.attempt for event in events] == [1, 2]
+        assert all(event.site == "llm" for event in events)
+
+    def test_run_exhaustion_propagates_the_final_error(self):
+        policy = RetryPolicy(attempts=3, base_delay=0, jitter=0,
+                             sleep=lambda _s: None)
+
+        def always(attempt):
+            raise TransientLLMError(f"attempt {attempt}")
+
+        with pytest.raises(TransientLLMError, match="attempt 2"):
+            policy.run(always, site="llm", key="k",
+                       retryable=TransientLLMError)
+
+    def test_non_retryable_errors_pass_straight_through(self):
+        policy = RetryPolicy(attempts=5, sleep=lambda _s: None)
+
+        def broken(attempt):
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.run(broken, site="llm", key="k",
+                       retryable=TransientLLMError)
+
+    def test_notifier_counts_and_scoped_subscription(self):
+        notifier = RetryNotifier()
+        seen = []
+        policy = RetryPolicy(attempts=2, base_delay=0, jitter=0,
+                             sleep=lambda _s: None)
+        with RETRY_EVENTS.subscribed(seen.append):
+            def once(attempt):
+                if attempt == 0:
+                    raise TransientLLMError("x")
+                return attempt
+            policy.run(once, site="llm", key="k",
+                       retryable=TransientLLMError)
+        assert len(seen) == 1
+        # Unsubscribed now: further emissions are not delivered.
+        notifier.emit(seen[0])
+        assert len(seen) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestLLMClientUnderFaults:
+    """The tentpole invariant: retries replay the same seed stream, so a
+    faulted client is byte-identical to a fault-free one."""
+
+    PLAN = "llm:rate=0.35,seed=13"
+
+    def _transcript(self, client):
+        out = []
+        for index in range(12):
+            out.append(client.charge(f"task{index}",
+                                     f"prompt {index}").random())
+            out.extend(rng.random() for rng in
+                       client.generate_batch("gen", f"p{index}", 3))
+        return out
+
+    def test_faulted_equals_fault_free(self):
+        clean = self._transcript(LLMClient("gpt-4", seed=5))
+        previous = install(self.PLAN)
+        try:
+            fast = RetryPolicy(attempts=4, base_delay=0, jitter=0,
+                               sleep=lambda _s: None)
+            faulted = self._transcript(LLMClient("gpt-4", seed=5,
+                                                 retry=fast))
+        finally:
+            install(previous)
+        assert faulted == clean
+
+    def test_faults_actually_fired(self):
+        RETRY_EVENTS.reset()
+        previous = install(self.PLAN)
+        try:
+            fast = RetryPolicy(attempts=4, base_delay=0, jitter=0,
+                               sleep=lambda _s: None)
+            self._transcript(LLMClient("gpt-4", seed=5, retry=fast))
+        finally:
+            install(previous)
+        assert RETRY_EVENTS.counts().get("llm", 0) > 0
+
+    def test_stats_untouched_by_failed_attempts(self):
+        clean = LLMClient("gpt-4", seed=5)
+        self._transcript(clean)
+        previous = install(self.PLAN)
+        try:
+            fast = RetryPolicy(attempts=4, base_delay=0, jitter=0,
+                               sleep=lambda _s: None)
+            faulted = LLMClient("gpt-4", seed=5, retry=fast)
+            self._transcript(faulted)
+        finally:
+            install(previous)
+        # Same successful calls -> same accounting, to the second.
+        assert faulted.stats.call_count == clean.stats.call_count
+        assert faulted.stats.total_tokens == clean.stats.total_tokens
+        assert faulted.clock.elapsed == clean.clock.elapsed
+
+    def test_exhaustion_with_depth_above_attempts(self):
+        # depth > attempts means injected faults CAN exhaust the budget;
+        # the typed transient error must then surface unchanged.
+        previous = install("llm:rate=1,depth=99")
+        try:
+            fast = RetryPolicy(attempts=3, base_delay=0, jitter=0,
+                               sleep=lambda _s: None)
+            client = LLMClient("gpt-4", seed=5, retry=fast)
+            with pytest.raises(TransientLLMError):
+                client.charge("task", "prompt")
+        finally:
+            install(previous)
+
+    def test_default_depth_guarantees_completion(self):
+        # rate=1 with the default depth of 2: every call fails twice and
+        # succeeds on the third attempt of the 4-attempt stock policy.
+        previous = install("llm:rate=1")
+        try:
+            fast = RetryPolicy(attempts=LLM_RETRY.attempts, base_delay=0,
+                               jitter=0, sleep=lambda _s: None)
+            client = LLMClient("gpt-4", seed=5, retry=fast)
+            assert client.charge("task", "prompt") is not None
+        finally:
+            install(previous)
+
+
+def test_module_no_ambient_state_leak():
+    """The autouse fixture restored the override; env is clean too."""
+    assert faults_mod._override is None or isinstance(
+        faults_mod._override, FaultPlan)

@@ -1,5 +1,7 @@
 """ExecutorService: leasing, idle reaping, the core budget, fork reset."""
 
+import os
+
 import pytest
 
 from repro.engine.pool import (CoreBudget, EXECUTOR_SERVICE, ExecutorService,
@@ -32,6 +34,12 @@ def service(clock):
 
 def _square(value):
     return value * value
+
+
+def _die():
+    # Simulates a hard worker crash (the worker:crash fault site does
+    # exactly this); must be top-level to pickle across the fork.
+    os._exit(3)
 
 
 class TestCoreBudget:
@@ -251,6 +259,21 @@ class TestReaping:
         with service.lease("thread", 2) as pool:
             assert not getattr(pool, "_broken", False)
             assert pool.submit(_square, 5).result() == 25
+
+    def test_genuinely_killed_worker_breaks_then_recovers(self, service):
+        # Not a stub: a real process pool whose worker os._exit()s, the
+        # way an injected worker:crash fault dies.  The lease surfaces
+        # BrokenProcessPool, releases its budget grant, and the *next*
+        # lease transparently hands out a fresh working pool.
+        from concurrent.futures.process import BrokenProcessPool
+
+        with service.lease("process", 2) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.submit(_die).result()
+        assert service.budget.in_use == 0
+        with service.lease("process", 2) as pool:
+            assert pool.submit(_square, 6).result() == 36
+        assert service.budget.in_use == 0
 
 
 class TestCancelAndWait:

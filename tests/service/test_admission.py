@@ -1,8 +1,10 @@
-"""Admission primitives: token buckets and the per-client rate limiter."""
+"""Admission primitives: token buckets, rate limiter, circuit breaker,
+drain estimator."""
 
 import pytest
 
-from repro.service.admission import (RateLimiter, TokenBucket,
+from repro.service.admission import (CircuitBreaker, DrainEstimator,
+                                     RateLimiter, TokenBucket,
                                      retry_after_header)
 
 
@@ -113,3 +115,122 @@ class TestRetryAfterHeader:
     ])
     def test_whole_seconds_at_least_one(self, seconds, expected):
         assert retry_after_header(seconds) == expected
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(threshold=3, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow() == (True, 0.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        admitted, wait = breaker.allow()
+        assert not admitted
+        assert 0 < wait <= 10.0
+
+    def test_success_resets_the_count(self, clock):
+        breaker = CircuitBreaker(threshold=2, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow() == (True, 0.0)   # the probe
+        admitted, wait = breaker.allow()        # probe in flight
+        assert not admitted and wait > 0
+
+    def test_successful_probe_closes(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() == (True, 0.0)
+
+    def test_failed_probe_reopens_a_fresh_window(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        assert breaker.state == "open"     # the window restarted
+        clock.advance(0.1)
+        assert breaker.state == "half_open"
+
+    def test_abort_probe_frees_the_slot(self, clock):
+        breaker = CircuitBreaker(threshold=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow() == (True, 0.0)
+        breaker.abort_probe()
+        # The next request becomes the probe instead.
+        assert breaker.allow() == (True, 0.0)
+
+    def test_straggler_failure_while_open_keeps_the_window(self, clock):
+        # A job admitted before the trip finishes (failing) while open:
+        # the reset window must NOT extend, or probe timing drifts.
+        breaker = CircuitBreaker(threshold=1, reset_seconds=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.record_failure()  # straggler
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+
+    def test_to_dict_snapshot(self, clock):
+        breaker = CircuitBreaker(threshold=4, reset_seconds=7.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.to_dict() == {
+            "state": "closed", "consecutive_failures": 1,
+            "threshold": 4, "reset_seconds": 7.0}
+
+    @pytest.mark.parametrize("threshold,reset", [(0, 1.0), (1, 0.0)])
+    def test_invalid_parameters_rejected(self, clock, threshold, reset):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold, reset, clock=clock)
+
+
+class TestDrainEstimator:
+    def test_default_before_any_observation(self):
+        estimator = DrainEstimator(default_seconds=2.0)
+        assert estimator.mean_seconds == 2.0
+        assert estimator.estimate(pending=4, workers=2) == 4.0
+
+    def test_running_mean_after_observations(self):
+        estimator = DrainEstimator()
+        estimator.observe(1.0)
+        estimator.observe(3.0)
+        assert estimator.mean_seconds == 2.0
+        assert estimator.estimate(pending=6, workers=3) == 4.0
+
+    def test_estimate_has_a_floor(self):
+        estimator = DrainEstimator()
+        estimator.observe(0.0)
+        assert estimator.estimate(pending=0, workers=4) == 0.1
+
+    def test_to_dict(self):
+        estimator = DrainEstimator()
+        estimator.observe(1.5)
+        assert estimator.to_dict() == {"mean_seconds": 1.5,
+                                       "observed_jobs": 1}
+
+    def test_invalid_default_rejected(self):
+        with pytest.raises(ValueError):
+            DrainEstimator(default_seconds=0.0)

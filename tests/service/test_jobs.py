@@ -238,3 +238,59 @@ class TestEventLog:
         from repro.engine.telemetry import EngineStarted
         log.on_engine_start(EngineStarted(engine="x", cases=1))
         assert [name for name, _payload in log.frames()] == ["job_finished"]
+
+    def test_bounded_with_truncation_marker_and_terminal_frame(self):
+        from repro.engine.telemetry import EngineStarted
+        log = EventLog(max_frames=4)
+        for index in range(10):
+            log.on_engine_start(EngineStarted(engine=f"e{index}", cases=1))
+        log.mark_done("job_finished", {"status": "done"})
+        names = [name for name, _payload in log.frames()]
+        # 3 ordinary slots, then the marker, then the terminal frame.
+        assert names == ["engine_started", "engine_started",
+                         "engine_started", "events_truncated",
+                         "job_finished"]
+        assert log.dropped == 7
+        marker = dict(log.frames())["events_truncated"]
+        assert marker == {"max_frames": 4}
+
+    def test_max_frames_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(max_frames=1)
+
+
+class TestServiceFaults:
+    """The service job runner retries injected ``service:fail`` faults
+    and surfaces each retry as an EventLog frame."""
+
+    def _run_faulted(self, case, plan):
+        from repro.engine.faults import install
+        from repro.engine.retry import RetryPolicy
+        log = EventLog()
+        config = JobConfig.from_payload(payload_for(case))
+        previous = install(plan)
+        try:
+            fast = RetryPolicy(attempts=4, base_delay=0, jitter=0,
+                               sleep=lambda _s: None)
+            report = execute_repair(config, observer=log, retry=fast)
+        finally:
+            install(previous)
+        return report, log
+
+    def test_faulted_job_retries_and_matches_fault_free(self, case):
+        config = JobConfig.from_payload(payload_for(case))
+        clean = execute_repair(config)
+        report, log = self._run_faulted(case, "service:fail=1")
+        assert report == clean
+        names = [name for name, _payload in log.frames()]
+        # Default depth 2: exactly two failed attempts, then success.
+        assert names[:2] == ["retry_attempted", "retry_attempted"]
+        retries = [payload for name, payload in log.frames()
+                   if name == "retry_attempted"]
+        assert all(payload["site"] == "service" for payload in retries)
+        assert [payload["attempt"] for payload in retries] == [1, 2]
+
+    def test_exhaustion_surfaces_the_transient_error(self, case):
+        from repro.engine.faults import TransientServiceError
+        with pytest.raises(TransientServiceError):
+            self._run_faulted(case, "service:fail=1,depth=99")

@@ -347,3 +347,60 @@ class TestProtocolErrors:
         body = response.json()
         assert body["status"] == "failed"
         assert "engine fell over" in body["error"]
+
+
+class TestCircuitBreaker:
+    def test_breaker_trips_probes_and_recovers(self, cases, monkeypatch):
+        # Deterministic transcript: N failures trip the breaker (503 +
+        # Retry-After), the reset window elapses, a failing probe
+        # re-opens, a succeeding probe closes it again.
+        class FakeClock:
+            def __init__(self):
+                self.now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = FakeClock()
+        healthy = threading.Event()
+        real = jobs.execute_repair
+
+        def flaky(config, *, cache=None, observer=None):
+            if not healthy.is_set():
+                raise RuntimeError("engine down")
+            return real(config, cache=cache, observer=observer)
+
+        monkeypatch.setattr(jobs, "execute_repair", flaky)
+
+        async def scenario():
+            transcript = []
+            async with running_server(breaker_threshold=2,
+                                      breaker_reset_seconds=5.0,
+                                      rate=0, clock=clock) as server:
+                async def post(index):
+                    response = await client.post_repair(
+                        HOST, server.port, payload_for(cases[0], index=index))
+                    transcript.append(response.status)
+                    return response
+
+                await post(0)            # failure 1 of 2
+                await post(1)            # failure 2 -> breaker opens
+                rejected = await post(2)
+                assert rejected.retry_after is not None
+                clock.now = 5.0          # window elapses -> half-open
+                await post(3)            # failing probe -> re-opens
+                await post(4)            # still open
+                clock.now = 10.0
+                healthy.set()
+                await post(5)            # succeeding probe -> closed
+                await post(6)            # flows normally again
+                stats = (await client.get_json(HOST, server.port,
+                                               "/stats")).json()
+            return transcript, stats
+
+        transcript, stats = run(scenario())
+        assert transcript == [500, 500, 503, 500, 503, 200, 200]
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["counters"]["rejected_breaker"] == 2
+        assert stats["counters"]["failed"] == 3
+        assert stats["drain"]["observed_jobs"] == 2

@@ -171,6 +171,92 @@ class TestCampaign:
                      "--json", "/no/such/dir/out.json"]) == 2
         assert "cannot write" in capsys.readouterr().err
 
+    def test_journal_flag_writes_and_reports(self, tmp_path, capsys):
+        jdir = tmp_path / "j"
+        assert main(["campaign", "--engine", "llm_only",
+                     "--category", "uninit", "--quiet",
+                     "--journal", str(jdir)]) == 0
+        out = capsys.readouterr().out
+        assert (jdir / "campaign.journal").exists()
+        assert "journal: 0 replayed," in out
+
+    def test_resume_replays_and_is_byte_identical(self, tmp_path, capsys):
+        import json
+        base = ["campaign", "--engine", "llm_only", "--category", "uninit",
+                "--quiet"]
+        first_json = tmp_path / "first.json"
+        assert main(base + ["--json", str(first_json)]) == 0
+        jdir = tmp_path / "j"
+        assert main(base + ["--journal", str(jdir)]) == 0
+        capsys.readouterr()
+        resumed_json = tmp_path / "resumed.json"
+        assert main(base + ["--resume", str(jdir),
+                            "--json", str(resumed_json)]) == 0
+        out = capsys.readouterr().out
+        cases = len(json.loads(first_json.read_text())["arms"][0]["cases"])
+        assert f"journal: {cases} replayed, 0 appended" in out
+        assert resumed_json.read_bytes() == first_json.read_bytes()
+
+    def test_resume_without_journal_exit_2(self, tmp_path, capsys):
+        assert main(["campaign", "--engine", "llm_only", "--quiet",
+                     "--resume", str(tmp_path / "nothing")]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+
+class TestCampaignSignals:
+    def test_sigterm_flushes_journal_and_exits_130(self, tmp_path):
+        # A real subprocess and a real signal: the interrupted campaign
+        # must exit 130 with a loadable journal and partial telemetry.
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        jdir = tmp_path / "j"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(pathlib_src()), env.get("PYTHONPATH", "")]))
+        # Hang every worker decision point so the run is slow enough to
+        # catch mid-flight, deterministically.
+        env["REPRO_FAULTS"] = "worker:hang=1,hang_seconds=0.3"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "campaign",
+             "--engine", "llm_only", "--engine", "rustbrain?kb=off",
+             "--quiet", "--journal", str(jdir)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        journal_path = jdir / "campaign.journal"
+        deadline = time.monotonic() + 60
+        # Wait until at least two results are durably journaled.
+        while time.monotonic() < deadline:
+            if journal_path.exists() and \
+                    len(journal_path.read_text().splitlines()) >= 3:
+                break
+            if process.poll() is not None:
+                break
+            time.sleep(0.05)
+        assert process.poll() is None, \
+            (process.stdout.read(), process.stderr.read())
+        process.send_signal(signal.SIGTERM)
+        _out, err = process.communicate(timeout=60)
+        assert process.returncode == 130, err
+        assert "campaign interrupted" in err
+        assert "resume with" in err
+        # The journal survived intact and the partial telemetry flushed.
+        lines = journal_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro.journal/1"
+        assert len(lines) >= 3
+        partial = json.loads((jdir / "telemetry.partial.json").read_text())
+        assert partial["cases_finished"] >= 0
+
+
+def pathlib_src():
+    import pathlib
+    return pathlib.Path(__file__).resolve().parents[1] / "src"
+
 
 class TestParser:
     def test_requires_subcommand(self):

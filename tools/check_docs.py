@@ -147,7 +147,7 @@ def _documented_dataclasses() -> dict[str, type]:
         telemetry.EngineStarted, telemetry.EngineFinished,
         telemetry.CaseStarted, telemetry.CaseFinished,
         telemetry.RoundFinished, telemetry.MemberFinished,
-        telemetry.CacheQueried)}
+        telemetry.CacheQueried, telemetry.RetryAttempted)}
     classes["RepairReport"] = types.RepairReport
     classes["CaseResult"] = results.CaseResult
     return classes
@@ -164,8 +164,12 @@ def _current_schema_ids() -> list[str]:
     campaign = (ROOT / "src/repro/engine/campaign.py").read_text(
         encoding="utf-8")
     ids += re.findall(r'"(repro\.campaign/\d+)"', campaign)
+    journal = (ROOT / "src/repro/engine/journal.py").read_text(
+        encoding="utf-8")
+    ids += re.findall(r'"(repro\.journal/\d+)"', journal)
     for script in ("benchmarks/perf_smoke.py", "benchmarks/ensemble_smoke.py",
-                   "benchmarks/service_smoke.py"):
+                   "benchmarks/service_smoke.py",
+                   "benchmarks/chaos_smoke.py"):
         text = (ROOT / script).read_text(encoding="utf-8")
         ids += re.findall(r'"(repro\.bench_\w+/\d+)"', text)
     return sorted(set(ids))
