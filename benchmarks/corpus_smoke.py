@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Corpus generator smoke: determinism, validation rates, scaled campaign.
+
+Exercises the seeded synthetic corpus generator end to end and writes
+``BENCH_corpus.json`` in a stable schema (``repro.bench_corpus/1``) so
+successive PRs can track generation throughput and corpus health:
+
+* **determinism** — the same ``(n, seed)`` generated twice must produce
+  byte-identical ``repro.corpus/1`` manifests;
+* **validation rates** — every requested case was emitted (the generator
+  already rejects-and-resamples internally), an independent re-validation
+  sample passes 100%, and no category's acceptance rate collapsed below
+  ``MIN_CATEGORY_RATE`` (a template or operator regression shows up here
+  as a rejection spike long before it exhausts the attempt budget);
+* **scaled campaign leg** — the generated corpus drives a full
+  ``llm_only`` campaign under the process executor, proving manifests
+  flow through ``Dataset``/campaign/cache machinery unchanged at a scale
+  the hand-written corpus cannot reach.
+
+Two tiers share the checks: ``--quick`` (CI per-PR: {quick_n} cases,
+small campaign) and the default full tier (benchmark job: ≥{full_n}
+cases through the campaign leg).  Wall-clock numbers are recorded, never
+asserted.
+
+Run:  PYTHONPATH=src python benchmarks/corpus_smoke.py [--quick] [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.corpus import generate_corpus, validate_case
+from repro.corpus.manifest import manifest_bytes
+from repro.engine import Campaign
+
+SEED = 7
+QUICK_N = 120
+FULL_N = 1000
+__doc__ = __doc__.format(quick_n=QUICK_N, full_n=FULL_N)
+
+#: A healthy category accepts most candidates; rejection spikes past this
+#: floor mean a template or mutation operator regressed.
+MIN_CATEGORY_RATE = 0.5
+#: Every REVALIDATE_STRIDE-th emitted case is independently re-validated.
+REVALIDATE_STRIDE = 10
+
+ENGINES = ["llm_only"]
+WORKERS = 4
+SHARD_SIZE = 16
+
+SCHEMA = "repro.bench_corpus/1"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "out" / "BENCH_corpus.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = "--quick" in argv
+    argv = [arg for arg in argv if arg != "--quick"]
+    out_path = pathlib.Path(argv[0]) if argv else DEFAULT_OUT
+    n = QUICK_N if quick else FULL_N
+
+    start = time.perf_counter()
+    cases, report = generate_corpus(n, SEED)
+    first_secs = time.perf_counter() - start
+    first_bytes = manifest_bytes(cases, report)
+
+    start = time.perf_counter()
+    again, again_report = generate_corpus(n, SEED)
+    second_secs = time.perf_counter() - start
+    deterministic = manifest_bytes(again, again_report) == first_bytes
+
+    sample = cases[::REVALIDATE_STRIDE]
+    revalidated = 0
+    for case in sample:
+        try:
+            validate_case(case)
+            revalidated += 1
+        except Exception as exc:  # any failure is a hard gate below
+            print(f"re-validation FAILED for {case.name}: {exc}",
+                  file=sys.stderr)
+
+    summary = report.to_dict()
+    rates = {name: stats["validation_rate"]
+             for name, stats in summary["categories"].items()}
+
+    from repro.corpus.dataset import Dataset
+    dataset = Dataset(tuple(cases))
+    start = time.perf_counter()
+    campaign = Campaign(ENGINES, dataset, seed=SEED, workers=WORKERS,
+                        shard_size=SHARD_SIZE, executor="process")
+    result = campaign.run()
+    campaign_secs = time.perf_counter() - start
+    campaign_cases = sum(len(arm.reports) for arm in result.arms)
+    campaign_passed = sum(report_.passed for arm in result.arms
+                          for report_ in arm.reports)
+
+    checks = {
+        "deterministic_manifest": deterministic,
+        "all_requested_emitted": report.emitted == n,
+        "revalidation_clean": revalidated == len(sample),
+        "category_rates_healthy": all(
+            rate is not None and rate >= MIN_CATEGORY_RATE
+            for rate in rates.values()),
+        "campaign_covered_corpus": campaign_cases == n,
+    }
+    payload = {
+        "schema": SCHEMA,
+        "tier": "quick" if quick else "full",
+        "config": {
+            "n": n,
+            "seed": SEED,
+            "engines": ENGINES,
+            "workers": WORKERS,
+            "shard_size": SHARD_SIZE,
+            "min_category_rate": MIN_CATEGORY_RATE,
+            "revalidate_stride": REVALIDATE_STRIDE,
+        },
+        "generation": {
+            "emitted": report.emitted,
+            "attempts": report.attempts,
+            "wall_seconds": round(first_secs, 4),
+            "second_run_wall_seconds": round(second_secs, 4),
+            "cases_per_second": round(n / first_secs, 2)
+            if first_secs > 0 else None,
+            "manifest_bytes": len(first_bytes),
+            "category_rates": rates,
+            "categories": summary["categories"],
+        },
+        "revalidation": {
+            "sampled": len(sample),
+            "passed": revalidated,
+        },
+        "campaign": {
+            "executor": "process",
+            "cases": campaign_cases,
+            "passed": campaign_passed,
+            "pass_rate": round(campaign_passed / campaign_cases, 4)
+            if campaign_cases else None,
+            "wall_seconds": round(campaign_secs, 4),
+        },
+        "checks": checks,
+    }
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path} (tier: {payload['tier']})")
+    print(f"  generation: {n} cases in {first_secs:.1f}s "
+          f"({payload['generation']['cases_per_second']}/s), "
+          f"{report.attempts} attempts")
+    print(f"  campaign:   {campaign_cases} cases in {campaign_secs:.1f}s, "
+          f"{campaign_passed} passed")
+    print(f"  checks: {checks}")
+    if not all(checks.values()):
+        print("corpus smoke FAILED correctness checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Subcommands::
     repro campaign --engine SPEC ...     # sweep engine arms over the corpus
     repro bench    NAME                  # regenerate one paper artifact
     repro serve    [--host H --port P]   # repair-as-a-service HTTP front door
+    repro corpus generate --n N --seed S # mint a validated synthetic corpus
+    repro corpus validate MANIFEST       # re-run self-validation on a manifest
 
 Engine specs are ``name?key=value&...`` strings, e.g.
 ``rustbrain?kb=off&rollback=none&temperature=0.2`` — see
@@ -158,10 +160,24 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 1
 
 
+def _load_corpus(corpus_arg: str | None):
+    """The base corpus, or a generated one when ``--corpus`` names a
+    manifest.  Raises :class:`~repro.corpus.ManifestError` on bad files."""
+    if corpus_arg is None:
+        from .corpus.dataset import load_dataset
+        return load_dataset()
+    from .corpus.manifest import load_manifest
+    return load_manifest(corpus_arg)
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
-    from .corpus.dataset import load_dataset
+    from .corpus.manifest import ManifestError
     from .miri.errors import UbKind
-    dataset = load_dataset()
+    try:
+        dataset = _load_corpus(args.corpus)
+    except ManifestError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     if args.category:
         dataset = dataset.subset([UbKind(args.category)])
     for case in dataset:
@@ -187,10 +203,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .engine import (Campaign, CampaignJournal, JournalError,
                          ProgressPrinter, SpecError, UnknownEngineError)
     from .engine.journal import JOURNAL_FILENAME
-    from .corpus.dataset import load_dataset
+    from .corpus.manifest import ManifestError
     from .miri.errors import UbKind
 
-    dataset = load_dataset()
+    try:
+        dataset = _load_corpus(args.corpus)
+    except ManifestError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     if args.category:
         try:
             dataset = dataset.subset([UbKind(cat) for cat in args.category])
@@ -451,6 +471,66 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 2
 
 
+def _parse_categories(names: list[str] | None):
+    """``--categories`` values → ``UbKind`` list (None passes through)."""
+    from .miri.errors import UbKind
+    if not names:
+        return None
+    return [UbKind(name) for name in names]
+
+
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from .corpus import GenerationError, generate_corpus, save_manifest
+    try:
+        categories = _parse_categories(args.categories)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    try:
+        cases, report = generate_corpus(args.n, args.seed,
+                                        categories=categories)
+    except GenerationError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out)
+    try:
+        path = save_manifest(cases, out_dir / "corpus.json", report)
+    except OSError as exc:
+        detail = exc.strerror or str(exc)
+        print(f"repro: cannot write {out_dir / 'corpus.json'}: {detail}",
+              file=sys.stderr)
+        return 2
+    summary = report.to_dict()
+    for name, stats in summary["categories"].items():
+        rate = stats["validation_rate"]
+        print(f"{name:18s} emitted={stats['emitted']:4d} "
+              f"attempts={stats['attempts']:4d} "
+              f"rate={rate if rate is not None else '-'}")
+    print(f"\n{report.emitted} cases from {report.attempts} attempts "
+          f"(seed {report.seed})")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_corpus_validate(args: argparse.Namespace) -> int:
+    from .corpus import CaseInvalid, ManifestError, load_manifest, \
+        validate_case
+    try:
+        dataset = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    failures = 0
+    for case in dataset:
+        try:
+            validate_case(case)
+        except CaseInvalid as invalid:
+            failures += 1
+            print(f"INVALID {case.name}: [{invalid.reason}] {invalid.detail}")
+    print(f"{len(dataset) - failures}/{len(dataset)} cases valid")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -483,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dataset = sub.add_parser("dataset", help="list the UB corpus")
     p_dataset.add_argument("--category", default=None)
+    p_dataset.add_argument("--corpus", default=None, metavar="MANIFEST",
+                           help="list a generated repro.corpus/1 manifest "
+                                "instead of the built-in corpus")
     p_dataset.set_defaults(fn=_cmd_dataset)
 
     p_engines = sub.add_parser("engines",
@@ -520,6 +603,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "REPRO_CACHE_DIR is set")
     p_campaign.add_argument("--category", action="append",
                             help="restrict to a UB category (repeatable)")
+    p_campaign.add_argument("--corpus", default=None, metavar="MANIFEST",
+                            help="sweep a generated repro.corpus/1 manifest "
+                                 "instead of the built-in corpus")
     p_campaign.add_argument("--json", default=None, metavar="PATH",
                             help="write the full campaign.json trajectory")
     p_campaign.add_argument("--journal", default=None, metavar="DIR",
@@ -564,6 +650,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default per-request deadline (clients may "
                               "override per request)")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="generate and validate synthetic corpora")
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    p_generate = corpus_sub.add_parser(
+        "generate", help="mint a seeded, self-validated synthetic corpus")
+    p_generate.add_argument("--n", type=int, required=True,
+                            help="number of cases to generate")
+    p_generate.add_argument("--seed", type=int, required=True,
+                            help="generation seed (same seed → byte-"
+                                 "identical manifest)")
+    p_generate.add_argument("--categories", nargs="+", default=None,
+                            metavar="KIND",
+                            help="restrict to these UB categories "
+                                 "(default: every generatable kind)")
+    p_generate.add_argument("--out", default="corpus.out", metavar="DIR",
+                            help="output directory; the manifest lands at "
+                                 "DIR/corpus.json (default: corpus.out)")
+    p_generate.set_defaults(fn=_cmd_corpus_generate)
+
+    p_validate = corpus_sub.add_parser(
+        "validate", help="re-run self-validation over a saved manifest")
+    p_validate.add_argument("manifest",
+                            help="path to a repro.corpus/1 manifest")
+    p_validate.set_defaults(fn=_cmd_corpus_validate)
 
     return parser
 

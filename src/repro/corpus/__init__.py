@@ -4,9 +4,34 @@ Analogous to the dataset the paper collects from the Miri repository
 (§IV "Datasets"): each case carries the buggy source, the developer-repaired
 reference (defining acceptable semantics for the *exec* metric), and the
 ground-truth repair strategies used for corpus validation and oracle scoring.
+
+The hand-written base corpus loads through :func:`load_dataset`; the
+seeded synthetic generator (:mod:`repro.corpus.generator`) scales it
+deterministically, and generated corpora round-trip through versioned
+``repro.corpus/1`` manifests (:mod:`repro.corpus.manifest`).
 """
 
 from .case import Strategy, UbCase
-from .dataset import Dataset, load_dataset
+from .dataset import Dataset, DuplicateCaseError, load_dataset
+from .generator import (CaseInvalid, GenerationError, GenerationReport,
+                        generate_corpus, generate_sources, validate_case)
+from .manifest import (MANIFEST_SCHEMA, ManifestError, load_manifest,
+                       save_manifest)
 
-__all__ = ["Dataset", "Strategy", "UbCase", "load_dataset"]
+__all__ = [
+    "CaseInvalid",
+    "Dataset",
+    "DuplicateCaseError",
+    "GenerationError",
+    "GenerationReport",
+    "MANIFEST_SCHEMA",
+    "ManifestError",
+    "Strategy",
+    "UbCase",
+    "generate_corpus",
+    "generate_sources",
+    "load_dataset",
+    "load_manifest",
+    "save_manifest",
+    "validate_case",
+]

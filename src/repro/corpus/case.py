@@ -68,20 +68,32 @@ _DISTRACTOR_POOL = [
 ]
 
 
-def _distractors(case_name: str) -> str:
-    """Deterministic filler block derived from the case name."""
-    digest = hashlib.blake2b(case_name.encode(), digest_size=8).digest()
-    rng = random.Random(int.from_bytes(digest, "big"))
+def distractor_block(rng: random.Random, prefix: str = "aux") -> str:
+    """Benign filler statements drawn from ``rng``.
+
+    ``prefix`` replaces the pool's ``aux`` stem, so callers (the corpus
+    generator) can inject several independent blocks into one program
+    without name collisions.
+    """
     count = rng.randint(2, 4)
     picks = rng.sample(range(len(_DISTRACTOR_POOL)), count)
     lines = []
     for pick in sorted(picks):
         a, b = rng.randint(2, 9), rng.randint(2, 9)
-        lines.append("    " + _DISTRACTOR_POOL[pick].format(a=a, b=b))
+        text = _DISTRACTOR_POOL[pick].format(a=a, b=b)
+        if prefix != "aux":
+            text = text.replace("aux_", f"{prefix}_")
+        lines.append("    " + text)
     return "\n".join(lines)
 
 
-def _inject(source: str, preamble: str) -> str:
+def _distractors(case_name: str) -> str:
+    """Deterministic filler block derived from the case name."""
+    digest = hashlib.blake2b(case_name.encode(), digest_size=8).digest()
+    return distractor_block(random.Random(int.from_bytes(digest, "big")))
+
+
+def inject_preamble(source: str, preamble: str) -> str:
     """Insert the filler right after ``fn main() {``."""
     marker = "fn main() {"
     index = source.find(marker)
@@ -114,8 +126,8 @@ def make_cases(prefix: str, category: UbKind, description: str,
         fixed = fixed_template.format(**subs)
         if distractors:
             preamble = _distractors(name)
-            source = _inject(source, preamble)
-            fixed = _inject(fixed, preamble)
+            source = inject_preamble(source, preamble)
+            fixed = inject_preamble(fixed, preamble)
         cases.append(UbCase(
             name=name,
             category=category,

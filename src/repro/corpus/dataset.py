@@ -8,7 +8,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..miri.errors import UbKind
@@ -17,9 +17,33 @@ from . import cases_borrows, cases_concurrency, cases_functions, \
     cases_memory, cases_values
 
 
+class DuplicateCaseError(ValueError):
+    """Two cases in one dataset share a name.
+
+    Raised at *load* time — generated corpora make name collisions a real
+    possibility (a manifest edited by hand, two manifests concatenated),
+    and a duplicate that only surfaced on :meth:`Dataset.get` would
+    silently shadow one case everywhere else (campaign telemetry, journal
+    replay, and cache keys all address cases by name).
+    """
+
+
 @dataclass(frozen=True)
 class Dataset:
     cases: tuple[UbCase, ...]
+    #: Name index built at construction — :meth:`get` is O(1), and building
+    #: the index is where duplicate names are rejected.  Excluded from
+    #: eq/repr so two datasets still compare by their cases alone.
+    _by_name: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        index: dict[str, UbCase] = {}
+        for case in self.cases:
+            if case.name in index:
+                raise DuplicateCaseError(
+                    f"duplicate case name {case.name!r}")
+            index[case.name] = case
+        object.__setattr__(self, "_by_name", index)
 
     def __len__(self) -> int:
         return len(self.cases)
@@ -28,10 +52,7 @@ class Dataset:
         return iter(self.cases)
 
     def get(self, name: str) -> UbCase:
-        for case in self.cases:
-            if case.name == name:
-                return case
-        raise KeyError(name)
+        return self._by_name[name]
 
     def by_category(self, category: UbKind) -> list[UbCase]:
         return [case for case in self.cases if case.category is category]
@@ -55,6 +76,4 @@ def load_dataset() -> Dataset:
     for module in (cases_memory, cases_borrows, cases_concurrency,
                    cases_functions, cases_values):
         cases.extend(module.CASES)
-    names = [case.name for case in cases]
-    assert len(names) == len(set(names)), "duplicate case names"
     return Dataset(tuple(cases))

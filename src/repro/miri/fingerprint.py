@@ -138,6 +138,21 @@ def _raw_fingerprint(source: str) -> str:
     return digest.hexdigest()
 
 
+def renameable_names(source: str) -> set[str]:
+    """Identifiers of ``source`` that a behaviour-preserving renaming may
+    touch — exactly the set the fingerprint normalizer alpha-renames.
+
+    This is the other consumer of the conservative rename analysis: the
+    corpus *generator* renames these names to fresh spellings to mint
+    mutant cases, and the fingerprint renames them to ``§N`` to erase the
+    choice again — which is why rename mutants collide with their parent
+    under :func:`source_fingerprint`.  Raises on unparseable input.
+    """
+    program = parse_program(source)
+    tokens = tokenize(print_program(program))
+    return _declared_names(program) - _PROTECTED - _excluded_names(tokens)
+
+
 def normalized_tokens(source: str) -> list[str]:
     """The canonical ``kind:text`` token stream :func:`source_fingerprint`
     hashes, with user identifiers alpha-renamed.  Raises on unparseable

@@ -96,3 +96,31 @@ class TestCaseGroundTruth:
             else:
                 assert report.stdout != reference.stdout, \
                     f"{case.name}: {strategy.rule} marked inexact but matches"
+
+
+class TestNameIndex:
+    def test_get_uses_the_index(self):
+        case = ALL_CASES[0]
+        assert DATASET.get(case.name) is DATASET._by_name[case.name]
+
+    def test_get_every_case(self):
+        for case in ALL_CASES:
+            assert DATASET.get(case.name) == case
+
+    def test_unknown_name_raises_key_error(self):
+        with pytest.raises(KeyError):
+            DATASET.get("no_such_case")
+
+    def test_duplicate_names_rejected_at_load(self):
+        from repro.corpus.dataset import Dataset, DuplicateCaseError
+        case = ALL_CASES[0]
+        with pytest.raises(DuplicateCaseError, match=case.name):
+            Dataset((case, case))
+
+    def test_subset_rebuilds_the_index(self):
+        subset = DATASET.subset([ALL_CASES[0].category])
+        assert subset.get(ALL_CASES[0].name) == ALL_CASES[0]
+        other = next(case for case in ALL_CASES
+                     if case.category is not ALL_CASES[0].category)
+        with pytest.raises(KeyError):
+            subset.get(other.name)

@@ -1,0 +1,242 @@
+"""Generator contract: determinism, self-validation, structured rejection,
+and manifest round-trips."""
+
+import json
+import random
+
+import pytest
+
+from repro.corpus import (CaseInvalid, GenerationError, ManifestError,
+                          Strategy, UbCase, generate_corpus, generate_sources,
+                          load_dataset, load_manifest, save_manifest,
+                          validate_case)
+from repro.corpus.generator import (MUTATION_OPERATORS, MutationSkip,
+                                    generatable_categories, mutate_case)
+from repro.corpus.manifest import MANIFEST_SCHEMA, manifest_bytes
+from repro.miri import detect_ub
+from repro.miri.errors import UbKind
+
+N = 40
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_corpus(N, SEED)
+
+
+class TestDeterminism:
+    def test_same_seed_same_manifest_bytes(self, generated):
+        cases, report = generated
+        again, again_report = generate_corpus(N, SEED)
+        assert manifest_bytes(again, again_report) == \
+            manifest_bytes(cases, report)
+
+    def test_different_seed_differs(self, generated):
+        cases, _ = generated
+        other, _ = generate_corpus(N, SEED + 1)
+        assert manifest_bytes(other) != manifest_bytes(cases)
+
+    def test_sources_deterministic(self):
+        assert generate_sources(30, seed=3) == generate_sources(30, seed=3)
+
+
+class TestEmittedCases:
+    def test_requested_count(self, generated):
+        cases, report = generated
+        assert len(cases) == N
+        assert report.emitted == N
+
+    def test_every_case_revalidates(self, generated):
+        cases, _ = generated
+        for case in cases:
+            assert validate_case(case)
+
+    def test_covers_every_generatable_category(self, generated):
+        cases, _ = generated
+        seen = {case.category for case in cases}
+        assert seen == set(generatable_categories())
+
+    def test_names_unique_and_not_in_base(self, generated):
+        cases, _ = generated
+        names = [case.name for case in cases]
+        assert len(set(names)) == len(names)
+        base = {case.name for case in load_dataset()}
+        assert not base & set(names)
+
+    def test_sources_distinct_from_base(self, generated):
+        cases, _ = generated
+        base = {case.source for case in load_dataset()}
+        for case in cases:
+            assert case.source not in base
+
+    def test_category_filter(self):
+        cases, _ = generate_corpus(6, SEED,
+                                   categories=[UbKind.UNALIGNED])
+        assert all(case.category is UbKind.UNALIGNED for case in cases)
+
+    def test_unsupported_category_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_corpus(2, SEED, categories=[UbKind.RESOURCE])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_corpus(-1, SEED)
+
+    def test_report_counts_attempts(self, generated):
+        _, report = generated
+        assert report.attempts >= report.emitted
+        for stats in report.to_dict()["categories"].values():
+            assert stats["attempts"] == stats["emitted"] \
+                + stats["total_rejected"]
+
+
+def _base_case(category=UbKind.ALLOC):
+    return load_dataset().by_category(category)[0]
+
+
+class TestValidatorRejections:
+    """Crafted invalid cases must be rejected with a structured reason."""
+
+    def test_wrong_kind_label(self):
+        case = _base_case(UbKind.ALLOC)
+        mislabelled = UbCase(
+            name="bad_label", category=UbKind.DATA_RACE,
+            description=case.description, source=case.source,
+            fixed_source=case.fixed_source, strategies=case.strategies)
+        with pytest.raises(CaseInvalid) as excinfo:
+            validate_case(mislabelled)
+        assert excinfo.value.reason == "wrong_kind"
+
+    def test_source_without_ub(self):
+        case = _base_case()
+        clean = UbCase(
+            name="no_bug", category=case.category,
+            description=case.description, source=case.fixed_source,
+            fixed_source=case.fixed_source, strategies=case.strategies)
+        with pytest.raises(CaseInvalid) as excinfo:
+            validate_case(clean)
+        assert excinfo.value.reason == "source_passes"
+
+    def test_ub_in_fixed_source(self):
+        case = _base_case()
+        broken_fix = UbCase(
+            name="bad_fix", category=case.category,
+            description=case.description, source=case.source,
+            fixed_source=case.source, strategies=case.strategies)
+        with pytest.raises(CaseInvalid) as excinfo:
+            validate_case(broken_fix)
+        assert excinfo.value.reason == "fixed_source_ub"
+
+    def test_non_repairing_strategy(self):
+        case = _base_case(UbKind.ALLOC)
+        # A real registered rule that has nothing to rewrite here.
+        useless = UbCase(
+            name="bad_strategy", category=case.category,
+            description=case.description, source=case.source,
+            fixed_source=case.fixed_source,
+            strategies=(Strategy("fix_call_arity"),))
+        with pytest.raises(CaseInvalid) as excinfo:
+            validate_case(useless)
+        assert excinfo.value.reason == "no_repairing_strategy"
+
+    def test_unregistered_rule(self):
+        case = _base_case()
+        phantom = UbCase(
+            name="bad_rule", category=case.category,
+            description=case.description, source=case.source,
+            fixed_source=case.fixed_source,
+            strategies=(Strategy("summon_the_borrow_checker"),))
+        with pytest.raises(CaseInvalid) as excinfo:
+            validate_case(phantom)
+        assert excinfo.value.reason == "unknown_rule"
+
+    def test_exactness_is_recomputed(self, generated):
+        cases, _ = generated
+        for case in cases[:10]:
+            reference = detect_ub(case.fixed_source)
+            for strategy in case.strategies:
+                from repro.core.rewrites import apply_rule
+                from repro.lang.parser import parse_program
+                from repro.lang.printer import print_program
+                repaired = apply_rule(parse_program(case.source),
+                                      strategy.rule)
+                assert repaired is not None
+                outcome = detect_ub(print_program(repaired))
+                assert outcome.passed
+                assert strategy.exact == \
+                    (outcome.stdout == reference.stdout)
+
+
+class TestMutationOperators:
+    def test_chain_skips_raise(self):
+        case = _base_case()
+        with pytest.raises(MutationSkip):
+            # An empty chain can never apply.
+            mutate_case(case, random.Random(0), operators=[])
+
+    def test_named_chain_applies(self):
+        case = _base_case()
+        mutant = mutate_case(case, random.Random(0),
+                             operators=["rename", "inject"])
+        assert mutant.source != case.source
+        assert "rename" in mutant.name and "inject" in mutant.name
+
+    def test_operator_table_stable(self):
+        # Generation samples operators by table order; reordering the
+        # table silently reseeds every corpus.
+        assert list(MUTATION_OPERATORS) == \
+            ["rename", "format", "distract", "reorder", "inject", "perturb"]
+
+
+class TestManifest:
+    def test_round_trip(self, generated, tmp_path):
+        cases, report = generated
+        path = save_manifest(cases, tmp_path / "corpus.json", report)
+        dataset = load_manifest(path)
+        assert len(dataset) == len(cases)
+        for case in cases:
+            assert dataset.get(case.name) == case
+
+    def test_schema_id_present(self, generated, tmp_path):
+        cases, report = generated
+        path = save_manifest(cases, tmp_path / "corpus.json", report)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["schema"] == MANIFEST_SCHEMA == "repro.corpus/1"
+        assert document["count"] == len(cases)
+        assert document["report"]["emitted"] == len(cases)
+
+    def test_fingerprint_tamper_detected(self, generated, tmp_path):
+        cases, _ = generated
+        path = save_manifest(cases[:3], tmp_path / "corpus.json")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        # A comment would not do: the fingerprint is formatting-invariant.
+        document["cases"][1]["source"] += "\nfn tampered() { let z = 1; }\n"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ManifestError, match="fingerprint"):
+            load_manifest(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps({"schema": "repro.corpus/99",
+                                    "cases": [], "count": 0}),
+                        encoding="utf-8")
+        with pytest.raises(ManifestError, match="schema"):
+            load_manifest(path)
+
+    def test_count_mismatch_rejected(self, generated, tmp_path):
+        cases, _ = generated
+        path = save_manifest(cases[:2], tmp_path / "corpus.json")
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["count"] = 5
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ManifestError, match="count"):
+            load_manifest(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(tmp_path / "missing.json")
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ManifestError):
+            load_manifest(garbled)

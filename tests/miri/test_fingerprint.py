@@ -290,3 +290,63 @@ class TestCaseMemo:
         small.store(("a",), detect_ub(BASE))
         small.store(("b",), detect_ub(BASE))
         assert len(small) == 1
+
+
+class TestGeneratedMutantDifferential:
+    """The generator's mutation operators, checked differentially: the
+    fingerprint-preserving operators (rename, format, distractor
+    respelling) must collide with their parent, while behaviour-changing
+    shape mutations (statement reordering, injected statements, literal
+    perturbation) must not."""
+
+    def _mutants(self, operator_name, count=12):
+        import random
+
+        from repro.corpus import load_dataset
+        from repro.corpus.generator import MUTATION_OPERATORS, MutationSkip
+
+        operator, preserving = MUTATION_OPERATORS[operator_name]
+        rng = random.Random(99)
+        pairs = []
+        for case in list(load_dataset())[:count]:
+            try:
+                source, _fixed = operator(case, rng)
+            except MutationSkip:
+                continue
+            pairs.append((case.source, source))
+        assert pairs, f"operator {operator_name} never applied"
+        return pairs, preserving
+
+    @pytest.mark.parametrize("operator_name",
+                             ["rename", "format", "distract"])
+    def test_equivalence_mutants_collide(self, operator_name):
+        pairs, preserving = self._mutants(operator_name)
+        assert preserving
+        for parent, mutant in pairs:
+            assert mutant != parent
+            assert source_fingerprint(mutant) == source_fingerprint(parent)
+
+    @pytest.mark.parametrize("operator_name",
+                             ["reorder", "inject", "perturb"])
+    def test_shape_mutants_do_not_collide(self, operator_name):
+        pairs, preserving = self._mutants(operator_name)
+        assert not preserving
+        for parent, mutant in pairs:
+            assert source_fingerprint(mutant) != source_fingerprint(parent)
+
+    def test_behaviour_changing_edit_never_collides(self):
+        # Beyond the built-in operators: flipping an observable literal
+        # is the smallest behaviour change there is.
+        changed = BASE.replace("let total = 3;", "let total = 4;")
+        assert source_fingerprint(changed) != source_fingerprint(BASE)
+
+    def test_generated_cases_keep_distinct_fingerprints_per_behaviour(self):
+        # A generated corpus may contain rename/format mutants (same
+        # fingerprint as their parent) but a case's buggy and fixed
+        # sides must never collide with each other.
+        from repro.corpus import generate_corpus
+
+        cases, _report = generate_corpus(15, seed=31)
+        for case in cases:
+            assert source_fingerprint(case.source) != \
+                source_fingerprint(case.fixed_source)

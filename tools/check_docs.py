@@ -81,18 +81,37 @@ def check_python_block(content: str) -> str | None:
     return None
 
 
-def _cli_options() -> dict[str, set[str]]:
-    """Subcommand name -> the option strings argparse registers for it."""
+def _subparsers_action(parser):
     import argparse
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action
+    return None
 
+
+def _cli_options() -> dict[str, set[str]]:
+    """Subcommand name -> the option strings argparse registers for it.
+
+    Command groups with nested subparsers (``repro corpus generate``)
+    contribute space-joined keys, so documented flags validate against
+    the leaf parser that actually defines them.
+    """
     from repro.cli import build_parser
 
-    parser = build_parser()
-    subparsers = next(action for action in parser._actions
-                      if isinstance(action, argparse._SubParsersAction))
-    return {name: {option for action in sub._actions
-                   for option in action.option_strings}
-            for name, sub in subparsers.choices.items()}
+    options: dict[str, set[str]] = {}
+
+    def collect(prefix: str, parser) -> None:
+        options[prefix] = {option for action in parser._actions
+                           for option in action.option_strings}
+        nested = _subparsers_action(parser)
+        if nested is not None:
+            for name, sub in nested.choices.items():
+                collect(f"{prefix} {name}", sub)
+
+    top = _subparsers_action(build_parser())
+    for name, sub in top.choices.items():
+        collect(name, sub)
+    return options
 
 
 def _joined_commands(content: str):
@@ -118,12 +137,18 @@ def check_bash_block(content: str, cli_options: dict[str, set[str]]):
         tail = command.split("repro.cli", 1)[1].split()
         if not tail:
             continue
+        # Longest-prefix match so command groups resolve to their leaf
+        # parser ("corpus generate" beats "corpus").
         subcommand = tail[0]
+        consumed = 1
+        if len(tail) > 1 and f"{tail[0]} {tail[1]}" in cli_options:
+            subcommand = f"{tail[0]} {tail[1]}"
+            consumed = 2
         valid = cli_options.get(subcommand)
         if valid is None:
             errors.append(f"unknown repro.cli subcommand {subcommand!r}")
             continue
-        for flag in _FLAG_RE.findall(" ".join(tail[1:])):
+        for flag in _FLAG_RE.findall(" ".join(tail[consumed:])):
             if flag not in valid:
                 errors.append(
                     f"flag {flag} is not an option of "
@@ -154,10 +179,11 @@ def _documented_dataclasses() -> dict[str, type]:
 
 
 def _current_schema_ids() -> list[str]:
+    from repro.corpus.manifest import MANIFEST_SCHEMA
     from repro.engine.cache import CACHE_SCHEMA
     from repro.miri import FINGERPRINT_VERSION
 
-    ids = [CACHE_SCHEMA, FINGERPRINT_VERSION]
+    ids = [CACHE_SCHEMA, FINGERPRINT_VERSION, MANIFEST_SCHEMA]
     # The campaign schema lives in campaign.py's to_dict; the bench
     # schemas in the benchmark scripts.  Read them from the source so the
     # checker cannot drift from a rename.
@@ -169,7 +195,8 @@ def _current_schema_ids() -> list[str]:
     ids += re.findall(r'"(repro\.journal/\d+)"', journal)
     for script in ("benchmarks/perf_smoke.py", "benchmarks/ensemble_smoke.py",
                    "benchmarks/service_smoke.py",
-                   "benchmarks/chaos_smoke.py"):
+                   "benchmarks/chaos_smoke.py",
+                   "benchmarks/corpus_smoke.py"):
         text = (ROOT / script).read_text(encoding="utf-8")
         ids += re.findall(r'"(repro\.bench_\w+/\d+)"', text)
     return sorted(set(ids))
