@@ -1,0 +1,28 @@
+"""Static checker for the mini-Rust subset.
+
+``check_source(source)`` is the front door: it parses and runs name
+resolution, layout validation, type checking, and the conservative
+borrow/move pass, returning a :class:`CheckReport` of structured
+:class:`Diagnostic` records (stable ``E0xxx`` codes, spans, labels, and
+machine-applicable suggestions), serialized under the
+``repro.diagnostics/1`` schema.
+"""
+
+from .checker import check_program, check_source, compute_layouts
+from .diagnostics import (DIAGNOSTICS_SCHEMA, ERROR_CODES, CheckReport,
+                          Diagnostic, Label, Suggestion, apply_suggestion,
+                          sort_diagnostics)
+
+__all__ = [
+    "DIAGNOSTICS_SCHEMA",
+    "ERROR_CODES",
+    "CheckReport",
+    "Diagnostic",
+    "Label",
+    "Suggestion",
+    "apply_suggestion",
+    "check_program",
+    "check_source",
+    "compute_layouts",
+    "sort_diagnostics",
+]

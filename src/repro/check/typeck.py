@@ -1,0 +1,1091 @@
+"""Type inference and checking over the ``lang`` AST.
+
+A bidirectional-ish walk: every expression gets a type in the domain
+
+    ``Ty`` | ``ANY_INT`` | ``None``
+
+where ``ANY_INT`` is the unsuffixed-integer-literal sentinel (compatible
+with every concrete integer type, exactly like rustc's ``{integer}``
+inference variable) and ``None`` means *unknown* — a shape the checker
+does not model.  Every check is gated on knowledge: unknown types make a
+check silently pass, never fail.  That asymmetry is the design center:
+the checker runs as a standing oracle over the whole UB corpus (buggy
+and fixed sources alike), so a false positive is a correctness bug while
+a false negative is merely a missed diagnostic.
+
+Emitted codes: ``E0308`` (mismatched types in let/assign/call/return/
+condition/operand positions), ``E0061`` (direct-call arity), ``E0369``
+(operator on non-numeric operand), ``E0512`` (transmute size mismatch,
+with a cast suggestion), ``E0605`` (invalid cast), ``E0608`` (indexing a
+non-indexable type), ``E0609`` (unknown field), ``E0614`` (deref of a
+non-pointer), ``E0560``/``E0063`` (struct literal fields).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.span import Span
+from ..lang.types import (BOOL, CHAR, INFER, INT_TYPES, ISIZE, NEVER, U8,
+                          U32, UNIT, USIZE, LayoutError, StructLayout, Ty,
+                          TyArray, TyBool, TyChar, TyFn, TyInfer, TyInt,
+                          TyNever, TyPath, TyRawPtr, TyRef, TySlice, TyStr,
+                          TyTuple, TyUnit, contains_infer, normalize,
+                          size_of)
+from .diagnostics import Diagnostic, Label, Suggestion
+from .names import ItemTables
+
+
+class _AnyInt:
+    """Sentinel for an unsuffixed integer literal's pending type."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "{integer}"
+
+
+ANY_INT = _AnyInt()
+
+#: Inferred type of an expression: a concrete type, the pending-integer
+#: sentinel, or ``None`` for "unknown — do not check".
+InferTy = Ty | _AnyInt | None
+
+_ARITH = frozenset({"+", "-", "*", "/", "%"})
+_BITS = frozenset({"&", "|", "^"})
+_SHIFTS = frozenset({"<<", ">>"})
+_CMP = frozenset({"<", "<=", ">", ">="})
+_EQ = frozenset({"==", "!="})
+_LOGIC = frozenset({"&&", "||"})
+
+_NEVER_MACROS = frozenset({"panic", "unreachable", "todo", "unimplemented"})
+_PRINT_MACROS = frozenset({"println", "print", "eprintln", "eprint"})
+
+
+def fmt_ty(t: InferTy) -> str:
+    """Human form of an inferred type (rustc prints ``{integer}``)."""
+    if t is ANY_INT:
+        return "{integer}"
+    if t is None:
+        return "_"
+    return str(t)
+
+
+def degrade(t: InferTy) -> Ty:
+    """Embed an inferred type into a container slot (unknown → ``_``)."""
+    if isinstance(t, Ty):
+        return t
+    return INFER
+
+
+def _struct_compat(e: Ty, a: Ty) -> bool:
+    if isinstance(e, TyInfer) or isinstance(a, TyInfer):
+        return True
+    if isinstance(e, TyNever) or isinstance(a, TyNever):
+        return True
+    if isinstance(e, TyInt):
+        return isinstance(a, TyInt) and e.name == a.name
+    if isinstance(e, TyRef):
+        if not isinstance(a, TyRef):
+            return False
+        if e.mutable and not a.mutable:
+            return False
+        return _struct_compat(e.target, a.target)
+    if isinstance(e, TyRawPtr):
+        # `&T` coerces to `*const T`, `&mut T` to both raw flavours.
+        if not isinstance(a, (TyRawPtr, TyRef)):
+            return False
+        if e.mutable and not a.mutable:
+            return False
+        return _struct_compat(e.target, a.target)
+    if isinstance(e, TySlice):
+        if isinstance(a, TyArray):  # unsize coercion behind the ref
+            return _struct_compat(e.elem, a.elem)
+        return isinstance(a, TySlice) and _struct_compat(e.elem, a.elem)
+    if isinstance(e, TyArray):
+        return (isinstance(a, TyArray) and e.length == a.length
+                and _struct_compat(e.elem, a.elem))
+    if isinstance(e, TyTuple):
+        return (isinstance(a, TyTuple) and len(e.elems) == len(a.elems)
+                and all(_struct_compat(x, y)
+                        for x, y in zip(e.elems, a.elems)))
+    if isinstance(e, TyFn):
+        return (isinstance(a, TyFn) and len(e.params) == len(a.params)
+                and all(_struct_compat(x, y)
+                        for x, y in zip(e.params, a.params))
+                and _struct_compat(e.ret, a.ret))
+    if isinstance(e, TyPath):
+        return (isinstance(a, TyPath) and e.name == a.name
+                and len(e.args) == len(a.args)
+                and all(_struct_compat(x, y)
+                        for x, y in zip(e.args, a.args)))
+    return type(e) is type(a)
+
+
+def compatible(expected: InferTy, actual: InferTy) -> bool:
+    """Whether ``actual`` is acceptable where ``expected`` is required.
+
+    Unknowns are compatible with everything (the no-false-positive
+    gate); ``ANY_INT`` matches every integer type; ``!`` coerces to any
+    type; ``&T`` coerces to ``*const T`` and arrays unsize to slices
+    behind references.
+    """
+    if expected is None or actual is None:
+        return True
+    if isinstance(expected, Ty) and contains_infer(expected):
+        return True
+    if isinstance(actual, Ty) and contains_infer(actual):
+        return True
+    if expected is ANY_INT:
+        return actual is ANY_INT or isinstance(actual, (TyInt, TyNever))
+    if actual is ANY_INT:
+        return isinstance(expected, (TyInt, TyNever))
+    return _struct_compat(normalize(expected), normalize(actual))
+
+
+def _score(t: InferTy) -> int:
+    if t is None:
+        return 0
+    if t is ANY_INT:
+        return 1
+    return 2 if contains_infer(t) else 3
+
+
+def pick(a: InferTy, b: InferTy) -> InferTy:
+    """The more informative of two compatible inferences."""
+    return a if _score(a) >= _score(b) else b
+
+
+def call_extent(source: str, start: int) -> int | None:
+    """Offset one past the ``)`` closing the call that starts at
+    ``start`` (textual paren matching; fine for suggestion splices on
+    the shapes the checker recognises)."""
+    open_idx = source.find("(", start)
+    if open_idx == -1:
+        return None
+    depth = 0
+    for idx in range(open_idx, len(source)):
+        ch = source[idx]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return idx + 1
+    return None
+
+
+class Typeck:
+    """One checking walk over a program; collects diagnostics."""
+
+    def __init__(self, program: ast.Program, source: str,
+                 tables: ItemTables,
+                 layouts: dict[str, StructLayout]):
+        self.program = program
+        self.source = source
+        self.tables = tables
+        self.layouts = layouts
+        self.diagnostics: list[Diagnostic] = []
+        self._scopes: list[dict[str, InferTy]] = []
+        self._ret: InferTy = UNIT
+
+    # ------------------------------------------------------------------
+    # Entry points
+
+    def run(self) -> list[Diagnostic]:
+        for item in self.program.items:
+            if isinstance(item, ast.FnItem):
+                self._check_fn(item)
+            elif isinstance(item, (ast.StaticItem, ast.ConstItem)):
+                self._scopes = [{}]
+                init_t = self.infer(item.init)
+                if item.ty is not None and not compatible(item.ty, init_t):
+                    self._mismatch(item.ty, init_t, item.init.span)
+                self._scopes = []
+        return self.diagnostics
+
+    def _check_fn(self, item: ast.FnItem) -> None:
+        frame: dict[str, InferTy] = {}
+        for param in item.params:
+            frame[param.name] = param.ty
+        self._scopes = [frame]
+        self._ret = item.ret if item.ret is not None else UNIT
+        body_t = self._infer_block(item.body, fresh_frame=False)
+        if (item.ret is not None and item.body.tail is not None
+                and not compatible(self._ret, body_t)):
+            self._mismatch(self._ret, body_t, item.body.tail.span,
+                           note=f"`{item.name}` declares return type "
+                                f"`{item.ret}`")
+        self._scopes = []
+
+    # ------------------------------------------------------------------
+    # Diagnostics helpers
+
+    def _emit(self, code: str, message: str, span: Span, *,
+              labels: tuple[Label, ...] = (),
+              notes: tuple[str, ...] = (),
+              suggestions: tuple[Suggestion, ...] = ()) -> None:
+        self.diagnostics.append(Diagnostic(
+            code=code, message=message, span=span,
+            labels=labels, notes=notes, suggestions=suggestions))
+
+    def _mismatch(self, expected: InferTy, actual: InferTy, span: Span,
+                  *, note: str | None = None,
+                  suggestions: tuple[Suggestion, ...] = ()) -> None:
+        self._emit(
+            "E0308",
+            f"mismatched types: expected `{fmt_ty(expected)}`, "
+            f"found `{fmt_ty(actual)}`",
+            span,
+            notes=(note,) if note else (),
+            suggestions=suggestions)
+
+    def _expect_bool(self, t: InferTy, span: Span) -> None:
+        if t is ANY_INT or (isinstance(t, Ty) and not isinstance(
+                t, (TyBool, TyNever, TyInfer))):
+            self._mismatch(BOOL, t, span)
+
+    # ------------------------------------------------------------------
+    # Scopes
+
+    def _lookup(self, name: str) -> InferTy:
+        for frame in reversed(self._scopes):
+            if name in frame:
+                return frame[name]
+        if name in self.tables.consts:
+            return self.tables.consts[name].ty
+        if name in self.tables.statics:
+            return self.tables.statics[name].ty
+        if name in self.tables.functions:
+            item = self.tables.functions[name]
+            return TyFn(tuple(p.ty if p.ty is not None else INFER
+                              for p in item.params),
+                        item.ret if item.ret is not None else UNIT,
+                        item.is_unsafe)
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements and blocks
+
+    def _infer_block(self, block: ast.Block,
+                     fresh_frame: bool = True) -> InferTy:
+        if fresh_frame:
+            self._scopes.append({})
+        diverges = False
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.LetStmt):
+                self._check_let(stmt)
+            elif isinstance(stmt, ast.ExprStmt):
+                t = self.infer(stmt.expr)
+                if isinstance(t, TyNever):
+                    diverges = True
+        tail_t: InferTy = UNIT
+        if block.tail is not None:
+            tail_t = self.infer(block.tail)
+        elif diverges:
+            tail_t = NEVER
+        if fresh_frame:
+            self._scopes.pop()
+        return tail_t
+
+    def _check_let(self, stmt: ast.LetStmt) -> None:
+        init_t: InferTy = None
+        if stmt.init is not None:
+            init_t = self.infer(stmt.init)
+        if (stmt.ty is not None and stmt.init is not None
+                and not compatible(stmt.ty, init_t)):
+            suggestions: tuple[Suggestion, ...] = ()
+            if (isinstance(normalize(stmt.ty), TyBool)
+                    and (init_t is ANY_INT or isinstance(init_t, TyInt))
+                    and isinstance(stmt.init, (ast.PathExpr, ast.IntLit))):
+                src = self.source[stmt.init.span.start:stmt.init.span.end]
+                suggestions = (Suggestion(
+                    message="compare with zero to get a `bool`",
+                    span=stmt.init.span,
+                    replacement=f"{src} != 0"),)
+            self._mismatch(stmt.ty, init_t, stmt.init.span,
+                           note=f"`{stmt.name}` is declared as `{stmt.ty}`",
+                           suggestions=suggestions)
+        self._scopes[-1][stmt.name] = stmt.ty if stmt.ty is not None \
+            else init_t
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def infer(self, node: ast.Expr) -> InferTy:
+        method = getattr(self, f"_infer_{type(node).__name__}", None)
+        if method is None:
+            return None
+        return method(node)
+
+    # -- literals -------------------------------------------------------
+
+    def _infer_IntLit(self, node: ast.IntLit) -> InferTy:
+        if node.suffix:
+            return INT_TYPES.get(node.suffix)
+        return ANY_INT
+
+    def _infer_BoolLit(self, node: ast.BoolLit) -> InferTy:
+        return BOOL
+
+    def _infer_CharLit(self, node: ast.CharLit) -> InferTy:
+        return CHAR
+
+    def _infer_StrLit(self, node: ast.StrLit) -> InferTy:
+        return TyRef(TyStr(), False)
+
+    # -- paths ----------------------------------------------------------
+
+    def _infer_PathExpr(self, node: ast.PathExpr) -> InferTy:
+        if len(node.segments) == 1:
+            name = node.segments[0]
+            if name == "None":
+                return TyPath("Option", (INFER,))
+            return self._lookup(name)
+        head, last = node.segments[0], node.segments[-1]
+        if head in INT_TYPES and last in ("MAX", "MIN"):
+            return INT_TYPES[head]
+        if head == "Ordering" or (len(node.segments) >= 2
+                                  and node.segments[-2] == "Ordering"):
+            return TyPath("Ordering")
+        return None
+
+    # -- operators ------------------------------------------------------
+
+    def _infer_Unary(self, node: ast.Unary) -> InferTy:
+        t = self.infer(node.operand)
+        if node.op in ("&", "&mut"):
+            return TyRef(degrade(t), node.op == "&mut")
+        if node.op == "*":
+            return self._deref(t, node.span, emit=True)
+        if node.op == "-":
+            if t is ANY_INT or isinstance(t, TyInt):
+                return t
+            if isinstance(t, (TyBool, TyChar, TyUnit)):
+                self._emit("E0369",
+                           f"cannot apply unary operator `-` to type "
+                           f"`{fmt_ty(t)}`", node.span)
+            return None
+        if node.op == "!":
+            if t is ANY_INT or isinstance(t, (TyInt, TyBool)):
+                return t
+            if isinstance(t, (TyChar, TyUnit)):
+                self._emit("E0369",
+                           f"cannot apply unary operator `!` to type "
+                           f"`{fmt_ty(t)}`", node.span)
+            return None
+        return None
+
+    def _deref(self, t: InferTy, span: Span, *, emit: bool) -> InferTy:
+        if isinstance(t, (TyRef, TyRawPtr)):
+            return t.target
+        if isinstance(t, TyPath):
+            if t.name in ("Box", "MutexGuard", "ManuallyDrop") and t.args:
+                return t.args[0]
+            if t.name == "Vec" and t.args:
+                return TySlice(t.args[0])
+            if t.name == "String":
+                return TyStr()
+        if emit and isinstance(t, (TyInt, TyBool, TyChar, TyTuple,
+                                   TyArray, TyUnit)):
+            self._emit("E0614",
+                       f"type `{fmt_ty(t)}` cannot be dereferenced", span)
+        return None
+
+    def _numeric_operand(self, op: str, t: InferTy, span: Span) -> None:
+        if isinstance(t, (TyBool, TyChar, TyUnit)):
+            self._emit("E0369",
+                       f"cannot apply binary operator `{op}` to type "
+                       f"`{fmt_ty(t)}`", span)
+
+    def _infer_Binary(self, node: ast.Binary) -> InferTy:
+        lt = self.infer(node.left)
+        rt = self.infer(node.right)
+        op = node.op
+        if op in _LOGIC:
+            self._expect_bool(lt, node.left.span)
+            self._expect_bool(rt, node.right.span)
+            return BOOL
+        if op in _SHIFTS:
+            # Shift operands may have distinct integer types; only the
+            # left side determines the result.
+            self._numeric_operand(op, lt, node.left.span)
+            self._numeric_operand(op, rt, node.right.span)
+            return lt if (lt is ANY_INT or isinstance(lt, TyInt)) else None
+        if op in _BITS and isinstance(lt, TyBool) and isinstance(rt, TyBool):
+            return BOOL
+        if op in _ARITH or op in _BITS:
+            self._numeric_operand(op, lt, node.left.span)
+            self._numeric_operand(op, rt, node.right.span)
+            if isinstance(lt, TyInt) and isinstance(rt, TyInt):
+                if lt.name != rt.name:
+                    self._mismatch(lt, rt, node.right.span)
+                return lt
+            if isinstance(lt, TyInt) and rt is ANY_INT:
+                return lt
+            if lt is ANY_INT and isinstance(rt, TyInt):
+                return rt
+            if lt is ANY_INT and rt is ANY_INT:
+                return ANY_INT
+            if isinstance(lt, TyNever):
+                return rt
+            if isinstance(rt, TyNever):
+                return lt
+            return None
+        if op in _CMP or op in _EQ:
+            if not (compatible(lt, rt) or compatible(rt, lt)):
+                self._mismatch(lt, rt, node.right.span)
+            return BOOL
+        return None
+
+    # -- assignment -----------------------------------------------------
+
+    def _infer_Assign(self, node: ast.Assign) -> InferTy:
+        target_t = self.infer(node.target)
+        value_t = self.infer(node.value)
+        if not compatible(target_t, value_t):
+            self._mismatch(target_t, value_t, node.value.span)
+        return UNIT
+
+    def _infer_CompoundAssign(self, node: ast.CompoundAssign) -> InferTy:
+        target_t = self.infer(node.target)
+        value_t = self.infer(node.value)
+        if node.op in _ARITH or node.op in _SHIFTS:
+            self._numeric_operand(node.op, target_t, node.target.span)
+        if node.op not in _SHIFTS and not compatible(target_t, value_t):
+            self._mismatch(target_t, value_t, node.value.span)
+        return UNIT
+
+    # -- calls ----------------------------------------------------------
+
+    def _infer_Call(self, node: ast.Call) -> InferTy:
+        arg_ts = [self.infer(arg) for arg in node.args]
+        func = node.func
+        if not isinstance(func, ast.PathExpr):
+            self.infer(func)
+            return None
+        if len(func.segments) == 1:
+            name = func.segments[0]
+            local = None
+            for frame in reversed(self._scopes):
+                if name in frame:
+                    local = frame[name]
+                    break
+            if local is not None:
+                # A call through a fn-valued local: never arity-checked.
+                return local.ret if isinstance(local, TyFn) else None
+            if name in self.tables.functions:
+                return self._call_fn_item(self.tables.functions[name],
+                                          node, arg_ts)
+            if name == "drop":
+                if len(node.args) != 1:
+                    self._emit("E0061",
+                               f"`drop` takes 1 argument but "
+                               f"{len(node.args)} were supplied", node.span)
+                return UNIT
+            if name == "Some":
+                return TyPath("Option",
+                              (degrade(arg_ts[0]) if arg_ts else INFER,))
+            return None
+        return self._builtin_call(func, node, arg_ts)
+
+    def _call_fn_item(self, item: ast.FnItem, node: ast.Call,
+                      arg_ts: list[InferTy]) -> InferTy:
+        want, got = len(item.params), len(node.args)
+        if want != got:
+            suggestions: tuple[Suggestion, ...] = ()
+            if got < want and all(isinstance(p.ty, TyInt)
+                                  for p in item.params[got:]):
+                extent = call_extent(self.source, node.span.start)
+                if extent is not None:
+                    head = self.source[node.span.start:extent - 1]
+                    pad = ", ".join("0" for _ in range(want - got))
+                    joined = f"{head}, {pad})" if got else f"{head}{pad})"
+                    suggestions = (Suggestion(
+                        message="provide the missing arguments",
+                        span=Span(node.span.start, extent,
+                                  node.span.line, node.span.col),
+                        replacement=joined),)
+            plural = "s" if want != 1 else ""
+            self._emit("E0061",
+                       f"this function takes {want} argument{plural} but "
+                       f"{got} were supplied", node.span,
+                       labels=(Label(item.span,
+                                     f"`{item.name}` defined here"),),
+                       suggestions=suggestions)
+        for param, arg, arg_t in zip(item.params, node.args, arg_ts):
+            if param.ty is not None and not compatible(param.ty, arg_t):
+                self._mismatch(param.ty, arg_t, arg.span,
+                               note=f"parameter `{param.name}` of "
+                                    f"`{item.name}` is `{param.ty}`")
+        return item.ret if item.ret is not None else UNIT
+
+    def _builtin_call(self, func: ast.PathExpr, node: ast.Call,
+                      arg_ts: list[InferTy]) -> InferTy:
+        segments = list(func.segments)
+        if segments and segments[0] == "std":
+            segments = segments[1:]
+        key = "::".join(segments)
+        gargs = func.generic_args
+
+        def garg(idx: int) -> Ty:
+            return gargs[idx] if len(gargs) > idx else INFER
+
+        def arg(idx: int) -> InferTy:
+            return arg_ts[idx] if len(arg_ts) > idx else None
+
+        if key == "Box::new":
+            return TyPath("Box", (degrade(arg(0)),))
+        if key == "Box::into_raw":
+            inner = arg(0)
+            if isinstance(inner, TyPath) and inner.name == "Box" \
+                    and inner.args:
+                return TyRawPtr(inner.args[0], True)
+            return TyRawPtr(INFER, True)
+        if key == "Box::from_raw":
+            inner = arg(0)
+            if isinstance(inner, TyRawPtr):
+                return TyPath("Box", (inner.target,))
+            return TyPath("Box", (INFER,))
+        if key in ("Vec::new", "Vec::with_capacity"):
+            return TyPath("Vec", (garg(0),))
+        if key == "String::new":
+            return TyPath("String")
+        if key == "String::from":
+            return TyPath("String")
+        if key in ("MaybeUninit::uninit", "MaybeUninit::zeroed"):
+            return TyPath("MaybeUninit", (garg(0),))
+        if key == "MaybeUninit::new":
+            return TyPath("MaybeUninit", (degrade(arg(0)),))
+        if key == "ManuallyDrop::new":
+            return TyPath("ManuallyDrop", (degrade(arg(0)),))
+        if key == "ManuallyDrop::into_inner":
+            inner = arg(0)
+            if isinstance(inner, TyPath) and inner.args:
+                return inner.args[0]
+            return None
+        if key == "Mutex::new":
+            return TyPath("Mutex", (degrade(arg(0)),))
+        if key in ("AtomicUsize::new", "AtomicI64::new", "AtomicBool::new"):
+            return TyPath(segments[0])
+        if key == "Layout::new":
+            return TyPath("Layout")
+        if key in ("Layout::from_size_align", "Layout::array"):
+            return TyPath("Result", (TyPath("Layout"), INFER))
+        if key in ("alloc::alloc", "alloc::alloc_zeroed", "alloc::realloc"):
+            return TyRawPtr(U8, True)
+        if key == "alloc::dealloc":
+            return UNIT
+        if key == "ptr::null":
+            return TyRawPtr(garg(0), False)
+        if key == "ptr::null_mut":
+            return TyRawPtr(garg(0), True)
+        if key == "ptr::read":
+            inner = arg(0)
+            if isinstance(inner, (TyRawPtr, TyRef)):
+                return inner.target
+            return None
+        if key in ("ptr::write", "ptr::copy", "ptr::copy_nonoverlapping",
+                   "ptr::drop_in_place", "ptr::write_bytes"):
+            return UNIT
+        if key == "mem::transmute":
+            return self._check_transmute(func, node, arg_ts)
+        if key in ("mem::zeroed", "mem::uninitialized"):
+            return garg(0) if gargs else None
+        if key in ("mem::size_of", "mem::align_of", "mem::size_of_val"):
+            return USIZE
+        if key in ("mem::forget", "mem::drop", "mem::swap"):
+            return UNIT
+        if key == "mem::replace":
+            inner = arg(0)
+            if isinstance(inner, TyRef):
+                return inner.target
+            return None
+        if key == "thread::spawn":
+            return TyPath("JoinHandle", (INFER,))
+        if key == "process::exit":
+            return NEVER
+        if key == "char::from_u32":
+            return TyPath("Option", (CHAR,))
+        if key == "char::from_u32_unchecked":
+            return CHAR
+        if segments[0] in INT_TYPES:
+            # `u32::from_le_bytes(..)` style constructors.
+            return INT_TYPES[segments[0]]
+        return None
+
+    def _check_transmute(self, func: ast.PathExpr, node: ast.Call,
+                         arg_ts: list[InferTy]) -> InferTy:
+        gargs = func.generic_args
+        if len(gargs) != 2:
+            return gargs[0] if len(gargs) == 1 else None
+        src_ty, dst_ty = gargs
+        if not (contains_infer(src_ty) or contains_infer(dst_ty)):
+            try:
+                src_size = size_of(src_ty, self.layouts)
+                dst_size = size_of(dst_ty, self.layouts)
+            except LayoutError:
+                return dst_ty
+            if src_size != dst_size:
+                suggestions: tuple[Suggestion, ...] = ()
+                src_t = arg_ts[0] if arg_ts else None
+                if (len(node.args) == 1 and isinstance(dst_ty, TyInt)
+                        and (src_t is ANY_INT
+                             or isinstance(src_t, (TyInt, TyRawPtr)))):
+                    extent = call_extent(self.source, node.span.start)
+                    arg_node = node.args[0]
+                    if extent is not None and isinstance(
+                            arg_node, (ast.PathExpr, ast.IntLit)):
+                        src = self.source[arg_node.span.start:
+                                          arg_node.span.end]
+                        suggestions = (Suggestion(
+                            message="use a lossless `as` cast instead",
+                            span=Span(node.span.start, extent,
+                                      node.span.line, node.span.col),
+                            replacement=f"{src} as {dst_ty}"),)
+                self._emit(
+                    "E0512",
+                    f"cannot transmute between types of different sizes: "
+                    f"`{src_ty}` ({src_size} bytes) vs `{dst_ty}` "
+                    f"({dst_size} bytes)",
+                    node.span,
+                    suggestions=suggestions)
+        return dst_ty
+
+    # -- method calls ---------------------------------------------------
+
+    def _infer_MethodCall(self, node: ast.MethodCall) -> InferTy:
+        recv_t = self.infer(node.receiver)
+        arg_ts = [self.infer(arg) for arg in node.args]
+        t = recv_t
+        for _ in range(4):
+            result = self._method(t, node, arg_ts)
+            if result is not _MISS:
+                return result
+            t = self._deref(t, node.span, emit=False)
+            if t is None:
+                return None
+        return None
+
+    def _method(self, t: InferTy, node: ast.MethodCall,
+                arg_ts: list[InferTy]):
+        name = node.method
+        gargs = node.generic_args
+        if not isinstance(t, Ty):
+            return None if t is None else _MISS
+        if name == "clone":
+            return t
+        if isinstance(t, TyPath):
+            return self._path_method(t, name, node, arg_ts, gargs)
+        if isinstance(t, (TyArray, TySlice)):
+            elem = t.elem
+            if name == "len":
+                return USIZE
+            if name == "is_empty":
+                return BOOL
+            if name == "as_ptr":
+                return TyRawPtr(elem, False)
+            if name == "as_mut_ptr":
+                return TyRawPtr(elem, True)
+            if name in ("get", "first", "last"):
+                return TyPath("Option", (TyRef(elem, False),))
+            return _MISS
+        if isinstance(t, TyRawPtr):
+            if name in ("add", "sub", "offset", "wrapping_add",
+                        "wrapping_sub", "wrapping_offset"):
+                return t
+            if name in ("read", "read_unaligned", "read_volatile"):
+                return t.target
+            if name in ("write", "write_unaligned", "write_volatile",
+                        "write_bytes"):
+                return UNIT
+            if name == "is_null":
+                return BOOL
+            if name == "cast":
+                return TyRawPtr(gargs[0] if gargs else INFER, t.mutable)
+            if name == "offset_from":
+                return ISIZE
+            return None
+        if isinstance(t, TyInt):
+            if name in ("wrapping_add", "wrapping_sub", "wrapping_mul",
+                        "saturating_add", "saturating_sub",
+                        "saturating_mul", "pow", "min", "max", "abs",
+                        "rotate_left", "rotate_right", "swap_bytes"):
+                return t
+            if name in ("checked_add", "checked_sub", "checked_mul"):
+                return TyPath("Option", (t,))
+            if name in ("count_ones", "count_zeros", "leading_zeros",
+                        "trailing_zeros"):
+                return U32
+            if name in ("to_le_bytes", "to_be_bytes", "to_ne_bytes"):
+                return TyArray(U8, t.bits // 8)
+            if name == "is_power_of_two":
+                return BOOL
+            return None
+        if isinstance(t, TyStr):
+            if name == "len":
+                return USIZE
+            if name == "as_ptr":
+                return TyRawPtr(U8, False)
+            if name == "as_bytes":
+                return TyRef(TySlice(U8), False)
+            if name == "to_string":
+                return TyPath("String")
+            return None
+        if isinstance(t, TyChar):
+            if name == "to_digit":
+                return TyPath("Option", (U32,))
+            if name.startswith("is_"):
+                return BOOL
+            return None
+        return _MISS if isinstance(t, TyRef) else None
+
+    def _path_method(self, t: TyPath, name: str, node: ast.MethodCall,
+                     arg_ts: list[InferTy], gargs: list[Ty]):
+        inner = t.args[0] if t.args else INFER
+        if t.name == "Vec":
+            if name == "push":
+                if arg_ts and not compatible(inner, arg_ts[0]):
+                    self._mismatch(inner, arg_ts[0], node.args[0].span)
+                return UNIT
+            if name == "pop":
+                return TyPath("Option", (inner,))
+            if name in ("len", "capacity"):
+                return USIZE
+            if name == "is_empty":
+                return BOOL
+            if name == "contains":
+                return BOOL
+            if name == "as_ptr":
+                return TyRawPtr(inner, False)
+            if name == "as_mut_ptr":
+                return TyRawPtr(inner, True)
+            if name in ("set_len", "resize", "clear", "reserve",
+                        "truncate", "insert", "shrink_to_fit",
+                        "extend_from_slice"):
+                return UNIT
+            if name == "remove":
+                return inner
+            if name == "get":
+                return TyPath("Option", (TyRef(inner, False),))
+            if name == "get_mut":
+                return TyPath("Option", (TyRef(inner, True),))
+            if name in ("first", "last"):
+                return TyPath("Option", (TyRef(inner, False),))
+            return None
+        if t.name == "MaybeUninit":
+            if name == "assume_init":
+                return inner
+            if name == "as_ptr":
+                return TyRawPtr(inner, False)
+            if name == "as_mut_ptr":
+                return TyRawPtr(inner, True)
+            if name == "write":
+                return TyRef(inner, True)
+            return None
+        if t.name == "Mutex":
+            if name == "lock":
+                return TyPath("Result",
+                              (TyPath("MutexGuard", (inner,)), INFER))
+            return None
+        if t.name == "JoinHandle":
+            if name == "join":
+                return TyPath("Result", (inner, INFER))
+            return None
+        if t.name == "Option":
+            if name in ("unwrap", "expect", "unwrap_or",
+                        "unwrap_or_default", "take"):
+                return inner if name != "take" else t
+            if name in ("is_some", "is_none"):
+                return BOOL
+            return None
+        if t.name == "Result":
+            if name in ("unwrap", "expect"):
+                return inner
+            if name in ("is_ok", "is_err"):
+                return BOOL
+            if name == "ok":
+                return TyPath("Option", (inner,))
+            return None
+        if t.name in ("AtomicUsize", "AtomicI64", "AtomicBool"):
+            base = {"AtomicUsize": USIZE, "AtomicI64": INT_TYPES["i64"],
+                    "AtomicBool": BOOL}[t.name]
+            if name == "load":
+                return base
+            if name == "store":
+                return UNIT
+            if name in ("swap", "fetch_add", "fetch_sub", "fetch_and",
+                        "fetch_or", "fetch_xor", "compare_and_swap"):
+                return base
+            return None
+        if t.name == "String":
+            if name == "len":
+                return USIZE
+            if name in ("push", "push_str", "clear"):
+                return UNIT
+            if name == "as_str":
+                return TyRef(TyStr(), False)
+            if name == "as_ptr":
+                return TyRawPtr(U8, False)
+            if name == "as_bytes":
+                return TyRef(TySlice(U8), False)
+            if name == "into_bytes":
+                return TyPath("Vec", (U8,))
+            if name == "is_empty":
+                return BOOL
+            return None
+        if t.name == "MutexGuard":
+            return _MISS  # force the deref chain to the payload
+        if t.name == "Box":
+            return _MISS
+        if t.name == "Layout":
+            if name == "size":
+                return USIZE
+            if name == "align":
+                return USIZE
+            return None
+        return None
+
+    # -- places ---------------------------------------------------------
+
+    def _infer_FieldAccess(self, node: ast.FieldAccess) -> InferTy:
+        obj_t = self.infer(node.obj)
+        t = obj_t
+        for _ in range(4):
+            if isinstance(t, TyTuple):
+                if node.field.isdigit():
+                    idx = int(node.field)
+                    if idx < len(t.elems):
+                        return t.elems[idx]
+                self._emit("E0609",
+                           f"no field `{node.field}` on type `{t}`",
+                           node.span)
+                return None
+            if isinstance(t, TyPath) and t.name in self.layouts:
+                layout = self.layouts[t.name]
+                if node.field in layout.field_names:
+                    return layout.type_of(node.field)
+                self._emit(
+                    "E0609",
+                    f"no field `{node.field}` on type `{t.name}`",
+                    node.span,
+                    notes=(f"available fields are: "
+                           f"{', '.join(layout.field_names)}",))
+                return None
+            if isinstance(t, (TyInt, TyBool, TyChar)):
+                self._emit("E0609",
+                           f"no field `{node.field}` on type `{fmt_ty(t)}`",
+                           node.span)
+                return None
+            stepped = self._deref(t, node.span, emit=False)
+            if stepped is None:
+                return None
+            t = stepped
+        return None
+
+    def _infer_Index(self, node: ast.Index) -> InferTy:
+        obj_t = self.infer(node.obj)
+        idx_t = self.infer(node.index)
+        if isinstance(idx_t, (TyBool, TyChar, TyRef, TyTuple)):
+            self._mismatch(USIZE, idx_t, node.index.span)
+        t = obj_t
+        for _ in range(4):
+            if isinstance(t, TyPath) and t.name == "Vec" and t.args:
+                return t.args[0]
+            if isinstance(t, (TyArray, TySlice)):
+                return t.elem
+            if isinstance(t, (TyInt, TyBool, TyChar, TyRawPtr, TyUnit,
+                              TyTuple)) or (
+                    isinstance(t, TyPath) and t.name in self.layouts):
+                self._emit("E0608",
+                           f"cannot index into a value of type "
+                           f"`{fmt_ty(t)}`", node.span)
+                return None
+            stepped = self._deref(t, node.span, emit=False)
+            if stepped is None:
+                return None
+            t = stepped
+        return None
+
+    # -- casts ----------------------------------------------------------
+
+    def _infer_Cast(self, node: ast.Cast) -> InferTy:
+        src_t = self.infer(node.expr)
+        target = node.ty
+        if target is None:
+            return None
+        if isinstance(normalize(target), TyBool):
+            if src_t is ANY_INT or (isinstance(src_t, Ty)
+                                    and not isinstance(src_t, (TyBool,
+                                                               TyInfer,
+                                                               TyNever))):
+                self._emit("E0605",
+                           f"cannot cast `{fmt_ty(src_t)}` as `bool`",
+                           node.span,
+                           notes=("compare with zero instead",))
+        elif isinstance(target, TyPath) and target.name in self.layouts:
+            self._emit("E0605",
+                       f"non-primitive cast: cannot cast to "
+                       f"`{target.name}`", node.span)
+        return target
+
+    # -- control flow ---------------------------------------------------
+
+    def _infer_Block(self, node: ast.Block) -> InferTy:
+        return self._infer_block(node)
+
+    def _infer_IfExpr(self, node: ast.IfExpr) -> InferTy:
+        cond_t = self.infer(node.cond)
+        self._expect_bool(cond_t, node.cond.span)
+        then_t = self._infer_block(node.then_block)
+        if node.else_block is None:
+            return UNIT
+        else_t = self.infer(node.else_block)
+        if compatible(then_t, else_t) or compatible(else_t, then_t):
+            return pick(then_t, else_t)
+        return None
+
+    def _infer_WhileExpr(self, node: ast.WhileExpr) -> InferTy:
+        cond_t = self.infer(node.cond)
+        self._expect_bool(cond_t, node.cond.span)
+        self._infer_block(node.body)
+        return UNIT
+
+    def _infer_LoopExpr(self, node: ast.LoopExpr) -> InferTy:
+        self._infer_block(node.body)
+        return None
+
+    def _infer_ForExpr(self, node: ast.ForExpr) -> InferTy:
+        iter_t = self.infer(node.iterable)
+        var_t = self._element_type(iter_t)
+        self._scopes.append({node.var: var_t})
+        self._infer_block(node.body, fresh_frame=False)
+        self._scopes.pop()
+        return UNIT
+
+    def _element_type(self, iter_t: InferTy) -> InferTy:
+        if isinstance(iter_t, TyPath):
+            if iter_t.name == "Range" and iter_t.args:
+                return iter_t.args[0]
+            if iter_t.name == "Vec" and iter_t.args:
+                return iter_t.args[0]
+        if isinstance(iter_t, (TyArray, TySlice)):
+            return iter_t.elem
+        if isinstance(iter_t, TyRef):
+            inner = self._element_type(iter_t.target)
+            if isinstance(inner, Ty):
+                return TyRef(inner, iter_t.mutable)
+        return None
+
+    def _infer_RangeExpr(self, node: ast.RangeExpr) -> InferTy:
+        lo_t = self.infer(node.lo) if node.lo is not None else None
+        hi_t = self.infer(node.hi) if node.hi is not None else None
+        elem = pick(lo_t, hi_t)
+        return TyPath("Range", (degrade(elem),))
+
+    # -- aggregates -----------------------------------------------------
+
+    def _infer_TupleLit(self, node: ast.TupleLit) -> InferTy:
+        return TyTuple(tuple(degrade(self.infer(e)) for e in node.elems))
+
+    def _infer_ArrayLit(self, node: ast.ArrayLit) -> InferTy:
+        elem: InferTy = None
+        for entry in node.elems:
+            elem = pick(elem, self.infer(entry))
+        return TyArray(degrade(elem), len(node.elems))
+
+    def _infer_ArrayRepeat(self, node: ast.ArrayRepeat) -> InferTy:
+        elem = self.infer(node.elem)
+        self.infer(node.count)
+        if isinstance(node.count, ast.IntLit):
+            return TyArray(degrade(elem), node.count.value)
+        return None
+
+    def _infer_StructLit(self, node: ast.StructLit) -> InferTy:
+        value_ts = [(fname, value, self.infer(value))
+                    for fname, value in node.fields]
+        layout = self.layouts.get(node.name)
+        if layout is None:
+            return TyPath(node.name) if node.name in self.tables.types \
+                else None
+        given = set()
+        for fname, value, value_t in value_ts:
+            given.add(fname)
+            if fname not in layout.field_names:
+                self._emit(
+                    "E0560",
+                    f"struct `{node.name}` has no field named `{fname}`",
+                    node.span,
+                    notes=(f"available fields are: "
+                           f"{', '.join(layout.field_names)}",))
+                continue
+            want = layout.type_of(fname)
+            if not compatible(want, value_t):
+                self._mismatch(want, value_t, value.span,
+                               note=f"field `{fname}` of `{node.name}` "
+                                    f"is `{want}`")
+        if layout.is_union:
+            if len(node.fields) != 1:
+                self._emit("E0063",
+                           f"union `{node.name}` expressions must "
+                           f"initialise exactly one field", node.span)
+        else:
+            missing = [f for f in layout.field_names if f not in given]
+            if missing:
+                listed = ", ".join(f"`{f}`" for f in missing)
+                self._emit("E0063",
+                           f"missing field{'s' if len(missing) > 1 else ''} "
+                           f"{listed} in initializer of `{node.name}`",
+                           node.span)
+        return TyPath(node.name)
+
+    # -- macros, closures, jumps ----------------------------------------
+
+    def _infer_MacroCall(self, node: ast.MacroCall) -> InferTy:
+        arg_ts = [self.infer(arg) for arg in node.args]
+        if node.name in _NEVER_MACROS:
+            return NEVER
+        if node.name in _PRINT_MACROS:
+            return UNIT
+        if node.name == "format":
+            return TyPath("String")
+        if node.name == "vec":
+            elem: InferTy = None
+            for t in arg_ts:
+                elem = pick(elem, t)
+            return TyPath("Vec", (degrade(elem),))
+        if node.name == "vec_repeat":
+            return TyPath("Vec",
+                          (degrade(arg_ts[0]) if arg_ts else INFER,))
+        if node.name in ("assert", "debug_assert"):
+            if node.args:
+                self._expect_bool(arg_ts[0], node.args[0].span)
+            return UNIT
+        if node.name in ("assert_eq", "assert_ne", "debug_assert_eq",
+                         "debug_assert_ne"):
+            return UNIT
+        return None
+
+    def _infer_Closure(self, node: ast.Closure) -> InferTy:
+        self._scopes.append({name: None for name in node.params})
+        self.infer(node.body)
+        self._scopes.pop()
+        return TyPath("Closure")
+
+    def _infer_ReturnExpr(self, node: ast.ReturnExpr) -> InferTy:
+        value_t: InferTy = UNIT
+        if node.value is not None:
+            value_t = self.infer(node.value)
+        span = node.value.span if node.value is not None else node.span
+        if not compatible(self._ret, value_t):
+            self._mismatch(self._ret, value_t, span)
+        return NEVER
+
+    def _infer_BreakExpr(self, node: ast.BreakExpr) -> InferTy:
+        if node.value is not None:
+            self.infer(node.value)
+        return NEVER
+
+    def _infer_ContinueExpr(self, node: ast.ContinueExpr) -> InferTy:
+        return NEVER
+
+
+#: Internal sentinel: "this method is not on this type, keep deref-ing".
+_MISS = object()

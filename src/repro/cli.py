@@ -3,6 +3,8 @@
 Subcommands::
 
     repro detect   FILE.rs               # run the UB detector (Miri analogue)
+    repro check    FILE.rs [--json]      # static type/borrow checker
+    repro check    --sweep [...]         # zero-diagnostic corpus oracle
     repro repair   FILE.rs [--engine S]  # repair with any registered engine
     repro dataset  [--category C]        # list the corpus
     repro engines                        # list registered repair engines
@@ -56,6 +58,58 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         for line in report.stdout:
             print(line)
     return 0 if report.passed else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import check_source
+    if args.sweep:
+        return _check_sweep(args)
+    if args.file is None:
+        print("repro: check needs a FILE (or --sweep)", file=sys.stderr)
+        return 2
+    try:
+        source = _read_source(args.file)
+    except _SourceReadError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = check_source(source)
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _check_sweep(args: argparse.Namespace) -> int:
+    """Run the checker as a corpus oracle: every corpus source (buggy AND
+    fixed) plus ``--generated N`` unvalidated mutants must produce zero
+    diagnostics — the corpus' defects are dynamic UB, not compile errors."""
+    from .check import check_source
+    from .corpus.manifest import ManifestError
+    try:
+        dataset = _load_corpus(args.corpus)
+    except ManifestError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    sources: list[tuple[str, str]] = []
+    for case in dataset:
+        sources.append((f"{case.name}/buggy", case.source))
+        sources.append((f"{case.name}/fixed", case.fixed_source))
+    if args.generated:
+        from .corpus.generator import generate_sources
+        for idx, text in enumerate(generate_sources(args.generated,
+                                                    seed=args.seed)):
+            sources.append((f"generated/{idx}", text))
+    failures = 0
+    for name, text in sources:
+        report = check_source(text)
+        if not report.ok:
+            failures += 1
+            codes = ",".join(report.codes())
+            print(f"DIAGNOSTICS {name}: {codes}")
+    print(f"{len(sources) - failures}/{len(sources)} sources check clean")
+    return 1 if failures else 0
 
 
 #: Defaults for the flags an engine spec's reserved params take precedence
@@ -480,15 +534,23 @@ def _parse_categories(names: list[str] | None):
 
 
 def _cmd_corpus_generate(args: argparse.Namespace) -> int:
-    from .corpus import GenerationError, generate_corpus, save_manifest
+    from .corpus import (GenerationError, generate_compile_corpus,
+                         generate_corpus, save_manifest)
     try:
         categories = _parse_categories(args.categories)
     except ValueError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
+    if args.compile and categories is not None:
+        print("repro: --compile and --categories are mutually exclusive",
+              file=sys.stderr)
+        return 2
     try:
-        cases, report = generate_corpus(args.n, args.seed,
-                                        categories=categories)
+        if args.compile:
+            cases, report = generate_compile_corpus(args.n, args.seed)
+        else:
+            cases, report = generate_corpus(args.n, args.seed,
+                                            categories=categories)
     except GenerationError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
@@ -542,6 +604,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--collect", action="store_true",
                           help="keep going after the first UB")
     p_detect.set_defaults(fn=_cmd_detect)
+
+    p_check = sub.add_parser(
+        "check", help="run the static type/borrow checker")
+    p_check.add_argument("file", nargs="?", default=None)
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the repro.diagnostics/1 report")
+    p_check.add_argument("--sweep", action="store_true",
+                         help="check every corpus source (buggy and fixed) "
+                              "instead of one file; exit 1 on any "
+                              "diagnostic")
+    p_check.add_argument("--corpus", default=None, metavar="MANIFEST",
+                         help="sweep a generated repro.corpus/1 manifest "
+                              "instead of the built-in corpus")
+    p_check.add_argument("--generated", type=int, default=0, metavar="N",
+                         help="also sweep N generator mutants")
+    p_check.add_argument("--seed", type=int, default=0,
+                         help="seed for --generated mutants")
+    p_check.set_defaults(fn=_cmd_check)
 
     p_repair = sub.add_parser("repair",
                               help="repair UBs with a registered engine")
@@ -669,6 +749,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--out", default="corpus.out", metavar="DIR",
                             help="output directory; the manifest lands at "
                                  "DIR/corpus.json (default: corpus.out)")
+    p_generate.add_argument("--compile", action="store_true",
+                            help="mint compile-error cases (static-checker "
+                                 "labels) instead of dynamic-UB cases")
     p_generate.set_defaults(fn=_cmd_corpus_generate)
 
     p_validate = corpus_sub.add_parser(

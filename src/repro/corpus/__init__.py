@@ -12,9 +12,11 @@ deterministically, and generated corpora round-trip through versioned
 """
 
 from .case import Strategy, UbCase
-from .dataset import Dataset, DuplicateCaseError, load_dataset
+from .dataset import (Dataset, DuplicateCaseError, load_compile_dataset,
+                      load_dataset)
 from .generator import (CaseInvalid, GenerationError, GenerationReport,
-                        generate_corpus, generate_sources, validate_case)
+                        generate_compile_corpus, generate_corpus,
+                        generate_sources, validate_case)
 from .manifest import (MANIFEST_SCHEMA, ManifestError, load_manifest,
                        save_manifest)
 
@@ -28,8 +30,10 @@ __all__ = [
     "ManifestError",
     "Strategy",
     "UbCase",
+    "generate_compile_corpus",
     "generate_corpus",
     "generate_sources",
+    "load_compile_dataset",
     "load_dataset",
     "load_manifest",
     "save_manifest",

@@ -42,6 +42,10 @@ class UbCase:
     #: 1 (mechanical) .. 5 (requires deep semantic understanding). Drives the
     #: simulated-LLM difficulty model and the human-expert timing model.
     difficulty: int = 2
+    #: For ``UbKind.COMPILE`` cases only: the stable checker code
+    #: (``"E0xxx"``) the buggy source is labelled with.  ``None`` for the
+    #: dynamic-UB corpus, whose sources all check clean.
+    expected_code: str | None = None
 
     def strategy_rules(self) -> list[str]:
         return [s.rule for s in self.strategies]

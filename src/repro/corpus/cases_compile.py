@@ -1,0 +1,342 @@
+"""Hand-written compile-error corpus: one case per stable checker code.
+
+Where the UB corpus anchors the *dynamic* repair engines, this set
+anchors the static front door: every :data:`~repro.check.ERROR_CODES`
+entry has one minimal case whose buggy source trips exactly that code
+and whose fixed source both checks clean and runs UB-free.  The golden
+diagnostic tests and the ``compile_fix`` benchmark sweep this set, so
+these sources double as the checker's regression fixtures — keep them
+small and single-fault.
+
+Strategies are empty by design: the repair signal for compile cases is
+the checker's machine-applicable suggestion, not the rewrite registry.
+"""
+
+from ..miri.errors import UbKind
+from .case import UbCase
+
+
+def _case(name: str, code: str, description: str, source: str,
+          fixed: str, difficulty: int = 1) -> UbCase:
+    return UbCase(
+        name=name,
+        category=UbKind.COMPILE,
+        description=description,
+        source=source,
+        fixed_source=fixed,
+        strategies=(),
+        difficulty=difficulty,
+        expected_code=code,
+    )
+
+
+CASES = (
+    _case(
+        "compile_syntax_unclosed", "E0001",
+        "unclosed parameter list in a function header",
+        "fn main( {\n    let x = 1;\n}\n",
+        'fn main() {\n    let x = 1;\n    println!("{}", x);\n}\n',
+    ),
+    _case(
+        "compile_unknown_value", "E0425",
+        "misspelled local name in an expression",
+        'fn main() {\n'
+        '    let count = 4;\n'
+        '    let total = cuont + 1;\n'
+        '    println!("{}", total);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let count = 4;\n'
+        '    let total = count + 1;\n'
+        '    println!("{}", total);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_duplicate_item", "E0428",
+        "two functions share one name",
+        'fn probe() -> i32 { 1 }\n'
+        'fn probe() -> i32 { 2 }\n'
+        'fn main() {\n'
+        '    println!("{}", probe());\n'
+        '}\n',
+        'fn probe() -> i32 { 1 }\n'
+        'fn probe_alt() -> i32 { 2 }\n'
+        'fn main() {\n'
+        '    println!("{}", probe() + probe_alt());\n'
+        '}\n',
+    ),
+    _case(
+        "compile_unknown_type", "E0412",
+        "annotation names an undeclared type",
+        'fn main() {\n'
+        '    let x: Wat = 3;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let x: i32 = 3;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_unknown_struct", "E0422",
+        "struct literal for an undeclared struct",
+        'fn main() {\n'
+        '    let h = Header { size: 4 };\n'
+        '    println!("{}", h.size);\n'
+        '}\n',
+        'struct Header { size: i32 }\n'
+        'fn main() {\n'
+        '    let h = Header { size: 4 };\n'
+        '    println!("{}", h.size);\n'
+        '}\n',
+        difficulty=2,
+    ),
+    _case(
+        "compile_bool_mismatch", "E0308",
+        "integer initializer under a bool annotation",
+        'fn main() {\n'
+        '    let flag: bool = 3;\n'
+        '    println!("{}", flag);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let flag: bool = 3 != 0;\n'
+        '    println!("{}", flag);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_missing_arg", "E0061",
+        "call passes one argument fewer than the signature",
+        'fn add(a: i32, b: i32) -> i32 { a + b }\n'
+        'fn main() {\n'
+        '    let s = add(1);\n'
+        '    println!("{}", s);\n'
+        '}\n',
+        'fn add(a: i32, b: i32) -> i32 { a + b }\n'
+        'fn main() {\n'
+        '    let s = add(1, 2);\n'
+        '    println!("{}", s);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_bool_plus_int", "E0369",
+        "arithmetic on a bool operand",
+        'fn main() {\n'
+        '    let x = true + 1;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let x = 1 + 1;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_index_scalar", "E0608",
+        "indexing into a plain integer",
+        'fn main() {\n'
+        '    let x: i32 = 5;\n'
+        '    let y = x[0];\n'
+        '    println!("{}", y);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let x = vec![5, 6];\n'
+        '    let y = x[0];\n'
+        '    println!("{}", y);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_unknown_field", "E0609",
+        "access to a field the struct does not declare",
+        'struct Point { x: i32, y: i32 }\n'
+        'fn main() {\n'
+        '    let p = Point { x: 1, y: 2 };\n'
+        '    let z = p.z;\n'
+        '    println!("{}", z);\n'
+        '}\n',
+        'struct Point { x: i32, y: i32 }\n'
+        'fn main() {\n'
+        '    let p = Point { x: 1, y: 2 };\n'
+        '    let z = p.y;\n'
+        '    println!("{}", z);\n'
+        '}\n',
+        difficulty=2,
+    ),
+    _case(
+        "compile_extra_lit_field", "E0560",
+        "struct literal spells a field the struct lacks",
+        'struct Pair { x: i32 }\n'
+        'fn main() {\n'
+        '    let p = Pair { x: 1, q: 2 };\n'
+        '    println!("{}", p.x);\n'
+        '}\n',
+        'struct Pair { x: i32 }\n'
+        'fn main() {\n'
+        '    let p = Pair { x: 1 };\n'
+        '    println!("{}", p.x);\n'
+        '}\n',
+        difficulty=2,
+    ),
+    _case(
+        "compile_missing_lit_field", "E0063",
+        "struct literal omits a declared field",
+        'struct Pair { x: i32, y: i32 }\n'
+        'fn main() {\n'
+        '    let p = Pair { x: 1 };\n'
+        '    println!("{}", p.x);\n'
+        '}\n',
+        'struct Pair { x: i32, y: i32 }\n'
+        'fn main() {\n'
+        '    let p = Pair { x: 1, y: 2 };\n'
+        '    println!("{}", p.x + p.y);\n'
+        '}\n',
+        difficulty=2,
+    ),
+    _case(
+        "compile_deref_scalar", "E0614",
+        "dereference of a plain integer",
+        'fn main() {\n'
+        '    let x: i32 = 5;\n'
+        '    let y = *x;\n'
+        '    println!("{}", y);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let x: i32 = 5;\n'
+        '    let r = &x;\n'
+        '    let y = *r;\n'
+        '    println!("{}", y);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_cast_to_bool", "E0605",
+        "as-cast from an integer to bool",
+        'fn main() {\n'
+        '    let x: i32 = 5;\n'
+        '    let b = x as bool;\n'
+        '    println!("{}", b);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let x: i32 = 5;\n'
+        '    let b = x != 0;\n'
+        '    println!("{}", b);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_transmute_widen", "E0512",
+        "transmute between integers of different sizes",
+        'fn main() {\n'
+        '    let x: u32 = 7;\n'
+        '    let y: u64 = unsafe { std::mem::transmute::<u32, u64>(x) };\n'
+        '    println!("{}", y);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let x: u32 = 7;\n'
+        '    let y: u64 = x as u64;\n'
+        '    println!("{}", y);\n'
+        '}\n',
+        difficulty=2,
+    ),
+    _case(
+        "compile_infinite_layout", "E0277",
+        "struct that contains itself without indirection",
+        'struct Node { next: Node }\n'
+        'fn main() {\n'
+        '    let depth = 3;\n'
+        '    println!("{}", depth);\n'
+        '}\n',
+        'struct Node { next: i32 }\n'
+        'fn main() {\n'
+        '    let depth = 3;\n'
+        '    println!("{}", depth);\n'
+        '}\n',
+        difficulty=3,
+    ),
+    _case(
+        "compile_use_after_move", "E0382",
+        "use of a Vec after it moved to a new binding",
+        'fn main() {\n'
+        '    let v = vec![1, 2, 3];\n'
+        '    let w = v;\n'
+        '    let n = v.len();\n'
+        '    println!("{}", n);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let v = vec![1, 2, 3];\n'
+        '    let w = v;\n'
+        '    let n = w.len();\n'
+        '    println!("{}", n);\n'
+        '}\n',
+        difficulty=2,
+    ),
+    _case(
+        "compile_immutable_reassign", "E0384",
+        "second assignment to an immutable binding",
+        'fn main() {\n'
+        '    let x = 1;\n'
+        '    x = 2;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let mut x = 1;\n'
+        '    x = 2;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+    ),
+    _case(
+        "compile_double_mut_borrow", "E0499",
+        "two live mutable borrows of one local",
+        'fn main() {\n'
+        '    let mut t = 0;\n'
+        '    let a = &mut t;\n'
+        '    let b = &mut t;\n'
+        '    *a += 1;\n'
+        '    *b += 1;\n'
+        '    println!("{}", t);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let mut t = 0;\n'
+        '    let a = &mut t;\n'
+        '    *a += 1;\n'
+        '    let b = &mut t;\n'
+        '    *b += 1;\n'
+        '    println!("{}", t);\n'
+        '}\n',
+        difficulty=3,
+    ),
+    _case(
+        "compile_shared_then_mut", "E0502",
+        "mutable borrow while a shared borrow is still live",
+        'fn main() {\n'
+        '    let mut t = 0;\n'
+        '    let a = &t;\n'
+        '    let b = &mut t;\n'
+        '    *b += 1;\n'
+        '    let c = *a;\n'
+        '    println!("{}", c);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let mut t = 0;\n'
+        '    let a = &t;\n'
+        '    let c = *a;\n'
+        '    let b = &mut t;\n'
+        '    *b += 1;\n'
+        '    println!("{}", c);\n'
+        '}\n',
+        difficulty=3,
+    ),
+    _case(
+        "compile_assign_through_shared", "E0594",
+        "assignment through a shared reference",
+        'fn main() {\n'
+        '    let mut x = 1;\n'
+        '    let r = &x;\n'
+        '    *r = 5;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+        'fn main() {\n'
+        '    let mut x = 1;\n'
+        '    let r = &mut x;\n'
+        '    *r = 5;\n'
+        '    println!("{}", x);\n'
+        '}\n',
+        difficulty=2,
+    ),
+)

@@ -13,8 +13,8 @@ from functools import lru_cache
 
 from ..miri.errors import UbKind
 from .case import Strategy, UbCase
-from . import cases_borrows, cases_concurrency, cases_functions, \
-    cases_memory, cases_values
+from . import cases_borrows, cases_compile, cases_concurrency, \
+    cases_functions, cases_memory, cases_values
 
 
 class DuplicateCaseError(ValueError):
@@ -77,3 +77,12 @@ def load_dataset() -> Dataset:
                    cases_functions, cases_values):
         cases.extend(module.CASES)
     return Dataset(tuple(cases))
+
+
+@lru_cache(maxsize=1)
+def load_compile_dataset() -> Dataset:
+    """The compile-error corpus: non-running sources labelled with the
+    stable checker code they trip.  Kept out of :func:`load_dataset` so
+    every consumer of the dynamic corpus (campaigns, the UB generator's
+    rng stream, manifests) sees exactly the cases it always did."""
+    return Dataset(tuple(cases_compile.CASES))

@@ -59,6 +59,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..check import apply_suggestion, check_source
 from ..core.rewrites import REGISTRY, apply_rule
 from ..lang import ast_nodes as ast
 from ..lang.lexer import tokenize
@@ -69,7 +70,7 @@ from ..miri import detect_ub
 from ..miri.errors import UbKind
 from ..miri.fingerprint import renameable_names
 from .case import Strategy, UbCase, distractor_block, inject_preamble
-from .dataset import Dataset, load_dataset
+from .dataset import Dataset, load_compile_dataset, load_dataset
 
 #: Bump when generation rules change enough that the same seed produces a
 #: different corpus; serialized into every manifest.
@@ -93,6 +94,19 @@ class CaseInvalid(Exception):
     * ``unknown_rule``         — a strategy names an unregistered rule
     * ``no_repairing_strategy``— no listed strategy actually repairs
     * ``duplicate_source``     — byte-identical to an already-known case
+
+    Compile cases (``UbKind.COMPILE``) validate against the static
+    checker instead of the detector and add their own reasons:
+
+    * ``checks_clean``             — the buggy source produces no
+      diagnostics
+    * ``wrong_code``               — the labelled ``expected_code`` is
+      missing from the checker's report
+    * ``fixed_source_diagnostics`` — the repaired reference does not
+      check clean
+    * ``suggestions_dont_repair``  — iteratively applying the first
+      machine-applicable suggestion never reaches a checks-clean,
+      UB-free program
     """
 
     def __init__(self, reason: str, detail: str):
@@ -109,13 +123,74 @@ _KIND_ALIASES = {
 }
 
 
+def _validate_compile_case(case: UbCase) -> tuple[Strategy, ...]:
+    """The compile-corpus contract: the buggy source must trip the static
+    checker on the labelled code, the fix must check clean *and* run
+    UB-free, and — when the checker offers machine-applicable
+    suggestions — splicing the first suggestion repeatedly must converge
+    to a checks-clean, UB-free program (the ``compile_fix`` engine
+    leans on exactly that convergence)."""
+    report = check_source(case.source)
+    if report.ok:
+        raise CaseInvalid(
+            "checks_clean",
+            f"{case.name}: buggy source produces no diagnostics")
+    if case.expected_code is None or case.expected_code not in report.codes():
+        raise CaseInvalid(
+            "wrong_code",
+            f"{case.name}: labelled {case.expected_code!r}, checker "
+            f"reports {sorted(set(report.codes()))}")
+    fixed_report = check_source(case.fixed_source)
+    if not fixed_report.ok:
+        raise CaseInvalid(
+            "fixed_source_diagnostics",
+            f"{case.name}: fixed source reports "
+            f"{sorted(set(fixed_report.codes()))}")
+    reference = detect_ub(case.fixed_source)
+    if not reference.passed:
+        raise CaseInvalid(
+            "fixed_source_ub",
+            f"{case.name}: fixed source still fails: "
+            f"{reference.errors[0].message}")
+    if any(diag.suggestions for diag in report.diagnostics):
+        current = case.source
+        for _round in range(5):
+            round_report = check_source(current)
+            if round_report.ok:
+                break
+            suggestions = [s for diag in round_report.diagnostics
+                           for s in diag.suggestions]
+            if not suggestions:
+                raise CaseInvalid(
+                    "suggestions_dont_repair",
+                    f"{case.name}: suggestions ran dry before checking "
+                    f"clean")
+            current = apply_suggestion(current, suggestions[0])
+        if not check_source(current).ok:
+            raise CaseInvalid(
+                "suggestions_dont_repair",
+                f"{case.name}: still failing after 5 suggestion rounds")
+        if not detect_ub(current).passed:
+            raise CaseInvalid(
+                "suggestions_dont_repair",
+                f"{case.name}: suggestion-repaired program checks clean "
+                f"but fails the detector")
+    return case.strategies
+
+
 def validate_case(case: UbCase) -> tuple[Strategy, ...]:
     """Check the full corpus contract for one case.
 
     Returns the *validated* strategies — the subset that genuinely
     repairs, with ``exact`` recomputed against the fixed source's stdout
-    — or raises :class:`CaseInvalid` with a structured reason.
+    — or raises :class:`CaseInvalid` with a structured reason.  Compile
+    cases validate against the static checker (see
+    :func:`_validate_compile_case`); their strategies pass through
+    unvetted (usually empty — the repair signal lives in the checker's
+    suggestions, not the rewrite registry).
     """
+    if case.category is UbKind.COMPILE:
+        return _validate_compile_case(case)
     report = detect_ub(case.source)
     if report.passed:
         raise CaseInvalid("source_passes",
@@ -850,6 +925,267 @@ def instantiate_template(template: CaseTemplate, rng: random.Random,
         strategies=tuple(Strategy(rule) for rule in template.rules),
         difficulty=template.difficulty,
     )
+
+
+# ---------------------------------------------------------------------------
+# Compile-error templates (the non-compiling corpus)
+
+
+@dataclass(frozen=True)
+class CompileTemplate:
+    """One parametric compile-error pattern: a buggy/fixed pair with
+    holes, the stable checker code the buggy side must trip, and a
+    sampler filling the holes from the rng.  Kept in a separate table
+    from :data:`TEMPLATES` so the UB generator's rng stream — and hence
+    every existing ``(n, seed)`` corpus — is untouched."""
+
+    key: str
+    expected_code: str
+    description: str
+    source: str
+    fixed: str
+    sampler: Callable[[random.Random], dict]
+    difficulty: int = 1
+
+
+_TYPO_NAMES = ("count", "total", "width", "level", "budget", "offset",
+               "cursor", "window")
+_FN_NAMES = ("combine", "scale_by", "merge", "accumulate", "blend")
+
+
+def _swap_typo(name: str, rng: random.Random) -> str:
+    """Transpose two adjacent characters — close enough that the
+    checker's difflib suggestion recovers the original spelling."""
+    at = rng.randrange(len(name) - 1)
+    chars = list(name)
+    chars[at], chars[at + 1] = chars[at + 1], chars[at]
+    return "".join(chars)
+
+
+def _tpl_typo(rng: random.Random) -> dict:
+    name = _pick(rng, *_TYPO_NAMES)
+    typo = _swap_typo(name, rng)
+    while typo == name:
+        typo = _swap_typo(name, rng)
+    return {"name": name, "typo": typo,
+            "a": rng.randrange(1, 99), "b": rng.randrange(1, 99)}
+
+
+def _tpl_name_ints(rng: random.Random) -> dict:
+    return {"name": _pick(rng, *_TYPO_NAMES),
+            "a": rng.randrange(1, 99), "b": rng.randrange(1, 99)}
+
+
+def _tpl_fn_call(rng: random.Random) -> dict:
+    return {"fn": _pick(rng, *_FN_NAMES),
+            "a": rng.randrange(1, 99), "b": rng.randrange(1, 99)}
+
+
+def _tpl_transmute(rng: random.Random) -> dict:
+    src, dst = _pick(rng, ("u32", "u64"), ("u16", "u64"), ("u16", "u32"),
+                     ("u8", "u32"), ("u8", "u64"))
+    return {"src": src, "dst": dst, "a": rng.randrange(1, 200)}
+
+
+COMPILE_TEMPLATES: tuple[CompileTemplate, ...] = (
+    CompileTemplate(
+        key="compile_typo_use",
+        expected_code="E0425",
+        description="misspelled local in an initializer",
+        source='''\
+fn main() {{
+    let {name} = {a};
+    let report = {typo} + {b};
+    println!("{{}}", report);
+}}
+''',
+        fixed='''\
+fn main() {{
+    let {name} = {a};
+    let report = {name} + {b};
+    println!("{{}}", report);
+}}
+''',
+        sampler=_tpl_typo,
+    ),
+    CompileTemplate(
+        key="compile_immutable_reassign",
+        expected_code="E0384",
+        description="reassignment of an immutable binding",
+        source='''\
+fn main() {{
+    let {name} = {a};
+    {name} = {name} + {b};
+    println!("{{}}", {name});
+}}
+''',
+        fixed='''\
+fn main() {{
+    let mut {name} = {a};
+    {name} = {name} + {b};
+    println!("{{}}", {name});
+}}
+''',
+        sampler=_tpl_name_ints,
+    ),
+    CompileTemplate(
+        key="compile_assign_through_shared",
+        expected_code="E0594",
+        description="assignment through a shared reference",
+        source='''\
+fn main() {{
+    let mut {name} = {a};
+    let slot = &{name};
+    *slot = {b};
+    println!("{{}}", {name});
+}}
+''',
+        fixed='''\
+fn main() {{
+    let mut {name} = {a};
+    let slot = &mut {name};
+    *slot = {b};
+    println!("{{}}", {name});
+}}
+''',
+        sampler=_tpl_name_ints,
+        difficulty=2,
+    ),
+    CompileTemplate(
+        key="compile_bool_from_int",
+        expected_code="E0308",
+        description="bool annotation on an integer initializer",
+        source='''\
+fn main() {{
+    let {name} = {a};
+    let ready: bool = {name};
+    if ready {{
+        println!("{{}}", {b});
+    }}
+}}
+''',
+        fixed='''\
+fn main() {{
+    let {name} = {a};
+    let ready: bool = {name} != 0;
+    if ready {{
+        println!("{{}}", {b});
+    }}
+}}
+''',
+        sampler=_tpl_name_ints,
+    ),
+    CompileTemplate(
+        key="compile_missing_arg",
+        expected_code="E0061",
+        description="call with one argument short of the signature",
+        source='''\
+fn {fn}(base: i32, extra: i32) -> i32 {{ base + extra }}
+fn main() {{
+    let summed = {fn}({a});
+    println!("{{}}", summed);
+}}
+''',
+        fixed='''\
+fn {fn}(base: i32, extra: i32) -> i32 {{ base + extra }}
+fn main() {{
+    let summed = {fn}({a}, {b});
+    println!("{{}}", summed);
+}}
+''',
+        sampler=_tpl_fn_call,
+    ),
+    CompileTemplate(
+        key="compile_transmute_widen",
+        expected_code="E0512",
+        description="transmute between differently sized integers",
+        source='''\
+fn main() {{
+    let raw: {src} = {a};
+    let wide: {dst} = unsafe {{ std::mem::transmute::<{src}, {dst}>(raw) }};
+    println!("{{}}", wide);
+}}
+''',
+        fixed='''\
+fn main() {{
+    let raw: {src} = {a};
+    let wide: {dst} = raw as {dst};
+    println!("{{}}", wide);
+}}
+''',
+        sampler=_tpl_transmute,
+        difficulty=2,
+    ),
+)
+
+
+def instantiate_compile_template(template: CompileTemplate,
+                                 rng: random.Random, name: str) -> UbCase:
+    """One concrete compile case: sample parameters, add distractors to
+    both sides (the filler checks clean, so the labelled code stays the
+    only diagnostic family present)."""
+    params = template.sampler(rng)
+    source = template.source.format(**params)
+    fixed = template.fixed.format(**params)
+    block = distractor_block(rng)
+    source = inject_preamble(source, block)
+    fixed = inject_preamble(fixed, block)
+    return UbCase(
+        name=name,
+        category=UbKind.COMPILE,
+        description=template.description,
+        source=source,
+        fixed_source=fixed,
+        strategies=(),
+        difficulty=template.difficulty,
+        expected_code=template.expected_code,
+    )
+
+
+def generate_compile_corpus(n: int, seed: int,
+                            ) -> tuple[list[UbCase], GenerationReport]:
+    """Generate ``n`` validated compile-error cases, deterministic in
+    ``seed``.  Templates round-robin so every error shape is
+    represented; every emitted case has passed the compile branch of
+    :func:`validate_case`."""
+    if n < 0:
+        raise GenerationError(f"n must be non-negative, got {n}")
+    rng = random.Random(seed)
+    report = GenerationReport(seed=seed, requested=n)
+    stats = report.stats(UbKind.COMPILE)
+    known_sources = {case.source for case in load_compile_dataset()}
+    emitted: list[UbCase] = []
+    counter = 0
+    while len(emitted) < n:
+        template = COMPILE_TEMPLATES[len(emitted) % len(COMPILE_TEMPLATES)]
+        case = None
+        for _attempt in range(_MAX_ATTEMPTS_PER_CASE):
+            stats.attempts += 1
+            report.attempts += 1
+            name = f"gen_compile_{counter:04d}"
+            candidate = instantiate_compile_template(template, rng, name)
+            try:
+                if candidate.source in known_sources:
+                    raise CaseInvalid(
+                        "duplicate_source",
+                        f"{name}: byte-identical to a known case")
+                validate_case(candidate)
+            except CaseInvalid as invalid:
+                stats.reject(invalid.reason)
+                continue
+            case = candidate
+            break
+        if case is None:
+            raise GenerationError(
+                f"compile template {template.key}: "
+                f"{_MAX_ATTEMPTS_PER_CASE} consecutive candidates rejected "
+                f"({dict(sorted(stats.rejected.items()))})")
+        emitted.append(case)
+        known_sources.add(case.source)
+        counter += 1
+        stats.emitted += 1
+        report.emitted += 1
+    return emitted, report
 
 
 # ---------------------------------------------------------------------------

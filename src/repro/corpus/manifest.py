@@ -45,7 +45,7 @@ class ManifestError(ValueError):
 
 
 def case_to_dict(case: UbCase) -> dict:
-    return {
+    entry = {
         "name": case.name,
         "category": case.category.value,
         "description": case.description,
@@ -56,6 +56,11 @@ def case_to_dict(case: UbCase) -> dict:
         "strategies": [{"rule": strategy.rule, "exact": strategy.exact}
                        for strategy in case.strategies],
     }
+    # Emitted only when set, so pre-existing UB-corpus manifests stay
+    # byte-identical (the corpus smoke benchmark gates on exactly that).
+    if case.expected_code is not None:
+        entry["expected_code"] = case.expected_code
+    return entry
 
 
 def case_from_dict(entry: dict) -> UbCase:
@@ -69,6 +74,7 @@ def case_from_dict(entry: dict) -> UbCase:
             strategies=tuple(Strategy(s["rule"], exact=s["exact"])
                              for s in entry["strategies"]),
             difficulty=entry["difficulty"],
+            expected_code=entry.get("expected_code"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ManifestError(f"malformed case entry: {exc}") from exc

@@ -1,0 +1,134 @@
+"""The ``compile_fix`` engine family: repair sources that fail the
+static checker.
+
+The dynamic-repair engines (rustbrain, the baselines) all assume their
+input *runs* — the corpus they target is compile-clean by construction.
+``compile_fix`` is the front door for the other failure mode: a source
+the checker rejects.  It loops check → prompt → apply one
+machine-applicable suggestion → re-check, with the model profile gating
+whether each suggestion is applied competently (stronger models accept
+the checker's structured fix more reliably, mirroring how real models
+differ at following compiler guidance).
+
+Once the source checks clean it is handed to the dynamic detector for a
+final verdict, so the engine composes in a cascade exactly like any
+other member::
+
+    cascade?members=compile_fix:gpt-4+rustbrain:gpt-4
+
+UB-but-compiling inputs fail fast here ("checks clean but UB remains")
+and escalate to the next member; non-compiling inputs are repaired to
+checks-clean before the dynamic verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..check import apply_suggestion, check_source
+from ..core.pipeline import RepairOutcome
+from ..llm.client import ContextOverflow, LLMClient, VirtualClock
+from ..llm.profiles import get_profile
+from ..miri import detect_case
+from .registry import apply_config_overrides, register_engine
+
+
+@dataclass
+class CompileFixConfig:
+    model: str = "gpt-4"
+    temperature: float = 0.5
+    seed: int = 0
+    #: Correction rounds: each round applies at most one suggestion.
+    #: ``attempts=1`` is the paper-style "first attempt" condition.
+    attempts: int = 3
+    #: Virtual seconds per checker invocation (fast, static).
+    checker_seconds: float = 0.2
+    #: Virtual seconds for the final dynamic detector run.
+    detector_seconds: float = 0.8
+
+
+class CompileFixRepair:
+    """Checker-guided compile repair with a model-gated apply step."""
+
+    def __init__(self, config: CompileFixConfig | None = None):
+        self.config = config or CompileFixConfig()
+        self._repair_index = 0
+
+    def repair(self, source: str, difficulty: int = 2) -> RepairOutcome:
+        config = self.config
+        clock = VirtualClock()
+        client = LLMClient(config.model, config.temperature,
+                           seed=config.seed * 9241 + self._repair_index,
+                           clock=clock)
+        self._repair_index += 1
+        profile = get_profile(config.model)
+        # Following a structured compiler suggestion is easier than
+        # synthesising a repair from scratch; cap below certainty so
+        # weaker models still visibly lag.
+        apply_skill = min(0.9, profile.repair_skill + 0.2)
+
+        clock.advance(config.checker_seconds)
+        report = check_source(source)
+        current = source
+        steps = 0
+        hallucinations = 0
+        if not report.ok:
+            for _attempt in range(config.attempts):
+                suggestions = [s for diag in report.diagnostics
+                               for s in diag.suggestions]
+                if not suggestions:
+                    return self._outcome(
+                        client, False, None, steps, hallucinations,
+                        reason="no machine-applicable suggestion")
+                try:
+                    rng = client.charge("compile_fix", report.render())
+                except ContextOverflow:
+                    return self._outcome(client, False, None, steps,
+                                         hallucinations,
+                                         reason="exceeds context limit")
+                steps += 1
+                if rng.random() < apply_skill:
+                    current = apply_suggestion(current, suggestions[0])
+                else:
+                    hallucinations += 1  # fumbled the suggested splice
+                clock.advance(config.checker_seconds)
+                report = check_source(current)
+                if report.ok:
+                    break
+            if not report.ok:
+                return self._outcome(client, False, None, steps,
+                                     hallucinations,
+                                     reason="attempts exhausted")
+        clock.advance(config.detector_seconds)
+        verdict = detect_case(current, collect=True)
+        if verdict.passed:
+            return self._outcome(client, True, current, steps,
+                                 hallucinations)
+        return self._outcome(client, False, None, steps, hallucinations,
+                             reason="checks clean but UB remains")
+
+    def _outcome(self, client, passed, repaired, steps, hallucinations,
+                 reason=None) -> RepairOutcome:
+        return RepairOutcome(
+            passed=passed, repaired_source=repaired,
+            seconds=client.clock.elapsed,
+            tokens=client.stats.total_tokens,
+            llm_calls=client.stats.call_count,
+            solutions_tried=steps, steps_executed=steps,
+            hallucinations=hallucinations, rollbacks=0,
+            used_knowledge_base=False, used_feedback=False,
+            failure_reason=reason,
+        )
+
+
+@register_engine("compile_fix",
+                 summary="checker-guided repair of non-compiling sources "
+                         "(static diagnostics + suggestion splices)",
+                 tags=("static", "compile"))
+def _build_compile_fix(*, model: str = "gpt-4", seed: int = 0,
+                       temperature: float = 0.5,
+                       **overrides) -> CompileFixRepair:
+    config = CompileFixConfig(model=model, seed=seed,
+                              temperature=temperature)
+    apply_config_overrides(config, overrides)
+    return CompileFixRepair(config)

@@ -58,6 +58,7 @@ _BUILTIN_MODULES = (
     "repro.core.pipeline",
     "repro.baselines.llm_only",
     "repro.baselines.rustassistant",
+    "repro.engine.compile_fix",
     # Composite engines + one auto-registered arm per model profile; must
     # import after the arms above so member lookups resolve everywhere
     # (including freshly-spawned process-pool workers).

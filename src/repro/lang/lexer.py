@@ -19,8 +19,15 @@ class LexError(Exception):
 
     def __init__(self, message: str, line: int, col: int):
         super().__init__(f"{message} at {line}:{col}")
+        self.message = message
         self.line = line
         self.col = col
+
+    def render(self, source: str) -> str:
+        """Caret snippet pointing at the unlexable character."""
+        from .span import Span, render_snippet
+        span = Span(0, 0, self.line, self.col)
+        return f"error: {self.message}\n" + render_snippet(source, span)
 
 
 # Multi-character punctuation, longest-first so maximal munch works.

@@ -37,7 +37,13 @@ from .types import (
 class ParseError(Exception):
     def __init__(self, message: str, span: Span):
         super().__init__(f"{message} at {span}")
+        self.message = message
         self.span = span
+
+    def render(self, source: str) -> str:
+        """Caret snippet pointing at the offending token."""
+        from .span import render_snippet
+        return f"error: {self.message}\n" + render_snippet(source, self.span)
 
 
 # Binary operator precedence; higher binds tighter.

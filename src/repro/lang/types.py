@@ -212,6 +212,90 @@ BUILTIN_NAMED = {"AtomicUsize", "AtomicI64", "AtomicBool", "Layout", "String"}
 
 
 # ---------------------------------------------------------------------------
+# Structural helpers (used by the static checker)
+
+
+def normalize(ty: Ty) -> Ty:
+    """Structural normal form for type comparison.
+
+    The parser produces ``UNIT`` for a literal ``()`` annotation, but
+    programmatic construction can yield ``TyTuple(())`` — which prints
+    identically yet compares unequal.  Normalizing maps the empty tuple
+    to ``UNIT`` (recursively through containers) so the checker's
+    equality never trips on the ambiguity.
+    """
+    if isinstance(ty, TyTuple):
+        elems = tuple(normalize(e) for e in ty.elems)
+        return UNIT if not elems else TyTuple(elems)
+    if isinstance(ty, TyArray):
+        return TyArray(normalize(ty.elem), ty.length)
+    if isinstance(ty, TySlice):
+        return TySlice(normalize(ty.elem))
+    if isinstance(ty, TyRef):
+        return TyRef(normalize(ty.target), ty.mutable)
+    if isinstance(ty, TyRawPtr):
+        return TyRawPtr(normalize(ty.target), ty.mutable)
+    if isinstance(ty, TyFn):
+        return TyFn(tuple(normalize(p) for p in ty.params),
+                    normalize(ty.ret), ty.is_unsafe)
+    if isinstance(ty, TyPath):
+        return TyPath(ty.name, tuple(normalize(a) for a in ty.args))
+    return ty
+
+
+def contains_infer(ty: Ty) -> bool:
+    """Whether ``_`` occurs anywhere inside ``ty`` (checks must not fire
+    on a type that is only partially known)."""
+    if isinstance(ty, TyInfer):
+        return True
+    if isinstance(ty, TyTuple):
+        return any(contains_infer(e) for e in ty.elems)
+    if isinstance(ty, (TyArray, TySlice)):
+        return contains_infer(ty.elem)
+    if isinstance(ty, (TyRef, TyRawPtr)):
+        return contains_infer(ty.target)
+    if isinstance(ty, TyFn):
+        return any(contains_infer(p) for p in ty.params) \
+            or contains_infer(ty.ret)
+    if isinstance(ty, TyPath):
+        return any(contains_infer(a) for a in ty.args)
+    return False
+
+
+def is_copy(ty: Ty, structs: dict[str, "StructLayout"] | None = None) -> bool:
+    """Conservative Copy judgement for the borrow/move pass.
+
+    Errs toward ``True``: a type we cannot classify is treated as Copy so
+    move analysis stays silent rather than report a false positive.  Only
+    the owning std containers (``Vec``/``Box``/``String``/``Mutex``/...)
+    and aggregates containing them answer ``False``.
+    """
+    if isinstance(ty, (TyInt, TyBool, TyChar, TyUnit, TyNever, TyInfer,
+                       TyRawPtr, TyFn, TyStr)):
+        return True
+    if isinstance(ty, TyRef):
+        return not ty.mutable
+    if isinstance(ty, TyTuple):
+        return all(is_copy(e, structs) for e in ty.elems)
+    if isinstance(ty, (TyArray, TySlice)):
+        return is_copy(ty.elem, structs)
+    if isinstance(ty, TyPath):
+        if ty.name in ("MaybeUninit", "ManuallyDrop", "Option"):
+            return all(is_copy(a, structs) for a in ty.args)
+        if ty.name == "Layout":
+            return True
+        if ty.name in ("Vec", "String", "Box", "Mutex", "JoinHandle",
+                       "MutexGuard", "Closure", "AtomicUsize", "AtomicI64",
+                       "AtomicBool"):
+            return False
+        if structs is not None and ty.name in structs:
+            return all(is_copy(t, structs)
+                       for t in structs[ty.name].field_types)
+        return True
+    return True
+
+
+# ---------------------------------------------------------------------------
 # Layout
 
 

@@ -1,0 +1,84 @@
+"""Serialization, ordering, and rendering tests for checker diagnostics."""
+
+import json
+
+from repro.check import (DIAGNOSTICS_SCHEMA, ERROR_CODES, CheckReport,
+                         Diagnostic, Label, Suggestion, apply_suggestion,
+                         check_source, sort_diagnostics)
+from repro.lang.span import Span
+
+SOURCE = 'fn main() {\n    let flag: bool = 3;\n    println!("{}", flag);\n}\n'
+
+
+def _diag(code="E0308", start=0, message="mismatched types"):
+    return Diagnostic(code=code, message=message,
+                      span=Span(start, start + 1, 1, start + 1))
+
+
+class TestSerialization:
+    def test_report_round_trips_through_dict(self):
+        report = check_source(SOURCE)
+        assert not report.ok
+        payload = report.to_dict()
+        assert payload["schema"] == DIAGNOSTICS_SCHEMA
+        assert payload["count"] == len(report.diagnostics)
+        back = [Diagnostic.from_dict(entry)
+                for entry in payload["diagnostics"]]
+        assert back == list(report.diagnostics)
+
+    def test_payload_is_json_and_machine_readable(self):
+        payload = check_source(SOURCE).to_dict()
+        decoded = json.loads(json.dumps(payload, sort_keys=True))
+        entry = decoded["diagnostics"][0]
+        assert entry["code"] in ERROR_CODES
+        assert {"start", "end", "line", "col"} <= set(entry["span"])
+
+    def test_labels_notes_suggestions_survive(self):
+        diag = Diagnostic(
+            code="E0061", message="wrong arg count",
+            span=Span(5, 8, 1, 6),
+            labels=(Label(Span(0, 2, 1, 1), "defined here"),),
+            notes=("expected 2 arguments",),
+            suggestions=(Suggestion("add the missing argument",
+                                    Span(7, 7, 1, 8), ", 0"),),
+        )
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+
+class TestOrdering:
+    def test_sorted_by_span_then_code_then_message(self):
+        diags = [_diag("E0425", start=9), _diag("E0308", start=9),
+                 _diag("E0308", start=2, message="z"),
+                 _diag("E0308", start=2, message="a")]
+        ordered = sort_diagnostics(diags)
+        assert [(d.span.start, d.code, d.message) for d in ordered] == [
+            (2, "E0308", "a"), (2, "E0308", "z"),
+            (9, "E0308", "mismatched types"), (9, "E0425", "mismatched types"),
+        ]
+
+
+class TestRendering:
+    def test_clean_report_renders_pass_line(self):
+        report = CheckReport(source="fn main() {}\n")
+        assert report.ok
+        assert "check passed" in report.render()
+
+    def test_failing_report_renders_code_caret_and_help(self):
+        rendered = check_source(SOURCE).render()
+        assert "error[E0308]" in rendered
+        assert "^" in rendered
+        assert "= help:" in rendered
+        assert "check failed: 1 diagnostic" in rendered
+
+    def test_every_code_has_a_title(self):
+        assert all(isinstance(title, str) and title
+                   for title in ERROR_CODES.values())
+
+
+class TestApplySuggestion:
+    def test_splices_replacement_at_span(self):
+        report = check_source(SOURCE)
+        suggestion = report.diagnostics[0].suggestions[0]
+        repaired = apply_suggestion(SOURCE, suggestion)
+        assert "3 != 0" in repaired
+        assert check_source(repaired).ok

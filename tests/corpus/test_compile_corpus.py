@@ -1,0 +1,124 @@
+"""Tests for the compile-error corpus: validation contract, generator,
+and manifest round-trip."""
+
+import pytest
+
+from repro.corpus import (CaseInvalid, Strategy, UbCase,
+                          generate_compile_corpus, generate_corpus,
+                          load_compile_dataset, load_dataset, load_manifest,
+                          save_manifest, validate_case)
+from repro.corpus.generator import COMPILE_TEMPLATES
+from repro.corpus.manifest import manifest_bytes
+from repro.miri.errors import UbKind
+
+
+def _compile_case(**overrides) -> UbCase:
+    base = dict(
+        name="compile_probe",
+        category=UbKind.COMPILE,
+        description="probe",
+        source='fn main() {\n    let x = 1;\n    x = 2;\n'
+               '    println!("{}", x);\n}\n',
+        fixed_source='fn main() {\n    let mut x = 1;\n    x = 2;\n'
+                     '    println!("{}", x);\n}\n',
+        strategies=(),
+        expected_code="E0384",
+    )
+    base.update(overrides)
+    return UbCase(**base)
+
+
+class TestValidateCompileCase:
+    def test_valid_case_passes_with_empty_strategies(self):
+        assert validate_case(_compile_case()) == ()
+
+    def test_clean_buggy_source_rejected(self):
+        case = _compile_case(source=_compile_case().fixed_source)
+        with pytest.raises(CaseInvalid) as err:
+            validate_case(case)
+        assert err.value.reason == "checks_clean"
+
+    def test_mislabelled_code_rejected(self):
+        with pytest.raises(CaseInvalid) as err:
+            validate_case(_compile_case(expected_code="E0425"))
+        assert err.value.reason == "wrong_code"
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(CaseInvalid) as err:
+            validate_case(_compile_case(expected_code=None))
+        assert err.value.reason == "wrong_code"
+
+    def test_diagnostic_fixed_source_rejected(self):
+        case = _compile_case(fixed_source=_compile_case().source)
+        with pytest.raises(CaseInvalid) as err:
+            validate_case(case)
+        assert err.value.reason == "fixed_source_diagnostics"
+
+    def test_ub_fixed_source_rejected(self):
+        case = _compile_case(
+            fixed_source='fn main() {\n'
+                         '    let mu: MaybeUninit<i32> = '
+                         'MaybeUninit::uninit();\n'
+                         '    let v = unsafe { mu.assume_init() };\n'
+                         '    println!("{}", v);\n}\n')
+        with pytest.raises(CaseInvalid) as err:
+            validate_case(case)
+        assert err.value.reason == "fixed_source_ub"
+
+    def test_hand_written_corpus_validates(self):
+        for case in load_compile_dataset():
+            validate_case(case)
+
+
+class TestCompileDataset:
+    def test_disjoint_from_dynamic_corpus(self):
+        dynamic_names = {case.name for case in load_dataset()}
+        compile_names = {case.name for case in load_compile_dataset()}
+        assert not dynamic_names & compile_names
+        assert all(case.category is UbKind.COMPILE
+                   for case in load_compile_dataset())
+
+    def test_dynamic_corpus_has_no_expected_codes(self):
+        assert all(case.expected_code is None for case in load_dataset())
+
+    def test_compile_cases_all_labelled(self):
+        assert all(case.expected_code for case in load_compile_dataset())
+
+
+class TestGenerateCompileCorpus:
+    def test_deterministic_in_seed(self):
+        first, first_report = generate_compile_corpus(8, seed=3)
+        second, second_report = generate_compile_corpus(8, seed=3)
+        assert manifest_bytes(first, first_report) \
+            == manifest_bytes(second, second_report)
+
+    def test_templates_round_robin(self):
+        cases, _ = generate_compile_corpus(len(COMPILE_TEMPLATES), seed=3)
+        assert [case.expected_code for case in cases] \
+            == [template.expected_code for template in COMPILE_TEMPLATES]
+
+    def test_every_emitted_case_validates(self):
+        cases, report = generate_compile_corpus(6, seed=9)
+        assert report.emitted == 6
+        for case in cases:
+            validate_case(case)
+
+    def test_ub_generator_stream_untouched(self):
+        # The compile templates live outside the UB generator's rng
+        # stream: the same (n, seed) dynamic corpus must not change.
+        before = manifest_bytes(*generate_corpus(4, seed=5))
+        generate_compile_corpus(4, seed=5)
+        assert manifest_bytes(*generate_corpus(4, seed=5)) == before
+
+
+class TestManifestRoundTrip:
+    def test_expected_code_survives(self, tmp_path):
+        cases, report = generate_compile_corpus(4, seed=2)
+        path = save_manifest(cases, tmp_path / "compile.json", report)
+        loaded = load_manifest(path)
+        assert [(c.name, c.expected_code) for c in loaded] \
+            == [(c.name, c.expected_code) for c in cases]
+
+    def test_dynamic_manifest_layout_unchanged(self):
+        cases, report = generate_corpus(3, seed=8)
+        assert b"expected_code" not in manifest_bytes(cases, report)

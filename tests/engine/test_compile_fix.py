@@ -1,0 +1,88 @@
+"""Tests for the checker-guided ``compile_fix`` engine family."""
+
+import pytest
+
+from repro.check import check_source
+from repro.corpus import load_compile_dataset, load_dataset
+from repro.engine import create_engine
+from repro.engine.registry import available_engines
+
+TYPO_SOURCE = (
+    'fn main() {\n'
+    '    let count = 4;\n'
+    '    let total = cuont + 1;\n'
+    '    println!("{}", total);\n'
+    '}\n'
+)
+
+UB_CASE = next(iter(load_dataset()))
+
+
+class TestRegistration:
+    def test_registered_with_tags(self):
+        info = next(info for info in available_engines()
+                    if info.name == "compile_fix")
+        assert "static" in info.tags
+        assert "compile" in info.tags
+
+    def test_spec_overrides_parse(self):
+        engine = create_engine("compile_fix?attempts=1", model="gpt-4")
+        assert engine.config.attempts == 1
+
+    def test_unknown_option_rejected(self):
+        from repro.engine.registry import EngineConfigError
+        with pytest.raises(EngineConfigError):
+            create_engine("compile_fix?rounds=2")
+
+
+class TestRepair:
+    def test_repairs_a_typo_source(self):
+        engine = create_engine("compile_fix", model="gpt-4", seed=3)
+        outcome = engine.repair(TYPO_SOURCE)
+        assert outcome.passed
+        assert check_source(outcome.repaired_source).ok
+        assert outcome.llm_calls >= 1
+        assert outcome.tokens > 0
+
+    def test_compiling_ub_input_fails_fast_with_reason(self):
+        engine = create_engine("compile_fix", model="gpt-4", seed=3)
+        outcome = engine.repair(UB_CASE.source)
+        assert not outcome.passed
+        assert outcome.failure_reason == "checks clean but UB remains"
+
+    def test_diagnose_only_source_reports_no_suggestion(self):
+        engine = create_engine("compile_fix", model="gpt-4", seed=3)
+        outcome = engine.repair("fn main() {\n    let x = true + 1;\n}\n")
+        assert not outcome.passed
+        assert outcome.failure_reason == "no machine-applicable suggestion"
+
+    def test_first_attempt_condition_caps_rounds(self):
+        engine = create_engine("compile_fix?attempts=1", model="gpt-3.5",
+                               seed=11)
+        outcomes = [engine.repair(case.source)
+                    for case in load_compile_dataset()]
+        assert any(o.failure_reason == "attempts exhausted"
+                   for o in outcomes)
+
+    def test_deterministic_under_seed(self):
+        def sweep():
+            engine = create_engine("compile_fix", model="gpt-4", seed=5)
+            return [(o.passed, o.tokens, o.seconds)
+                    for o in (engine.repair(c.source)
+                              for c in load_compile_dataset())]
+        assert sweep() == sweep()
+
+
+class TestCascadeComposition:
+    def test_cascade_escalates_ub_to_dynamic_member(self):
+        engine = create_engine(
+            "cascade?members=compile_fix:gpt-4+rustbrain:gpt-4", seed=3)
+        outcome = engine.repair(UB_CASE.source, difficulty=UB_CASE.difficulty)
+        assert outcome.passed
+
+    def test_cascade_handles_non_compiling_input(self):
+        engine = create_engine(
+            "cascade?members=compile_fix:gpt-4+rustbrain:gpt-4", seed=3)
+        outcome = engine.repair(TYPO_SOURCE)
+        assert outcome.passed
+        assert check_source(outcome.repaired_source).ok

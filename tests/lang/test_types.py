@@ -118,3 +118,58 @@ class TestStructLayout:
         assert str(ty.TyPath("Vec", (ty.I32,))) == "Vec<i32>"
         assert str(ty.TyTuple((ty.I32,))) == "(i32,)"
         assert str(ty.TyFn((ty.I32,), ty.I32)) == "fn(i32) -> i32"
+
+
+class TestInferAndNever:
+    def test_rendering(self):
+        assert str(ty.INFER) == "_"
+        assert str(ty.NEVER) == "!"
+        assert str(ty.TyPath("Vec", (ty.INFER,))) == "Vec<_>"
+
+    def test_singletons_compare_equal(self):
+        assert ty.TyInfer() == ty.INFER
+        assert ty.TyNever() == ty.NEVER
+        assert ty.INFER != ty.NEVER
+
+    def test_contains_infer_direct_and_nested(self):
+        assert ty.contains_infer(ty.INFER)
+        assert ty.contains_infer(ty.TyPath("Vec", (ty.INFER,)))
+        assert ty.contains_infer(ty.TyRef(ty.INFER, False))
+        assert ty.contains_infer(ty.TyTuple((ty.I32, ty.INFER)))
+        assert ty.contains_infer(ty.TyArray(ty.INFER, 3))
+        assert ty.contains_infer(ty.TyFn((ty.INFER,), ty.I32))
+        assert ty.contains_infer(ty.TyFn((), ty.INFER))
+        assert not ty.contains_infer(ty.I32)
+        assert not ty.contains_infer(ty.TyPath("Vec", (ty.I32,)))
+        assert not ty.contains_infer(ty.NEVER)
+
+    def test_normalize_empty_tuple_is_unit(self):
+        assert ty.normalize(ty.TyTuple(())) == ty.UNIT
+        assert ty.normalize(ty.TyRef(ty.TyTuple(()), False)) \
+            == ty.TyRef(ty.UNIT, False)
+        assert ty.normalize(ty.TyPath("Vec", (ty.TyTuple(()),))) \
+            == ty.TyPath("Vec", (ty.UNIT,))
+
+    def test_normalize_is_identity_on_concrete_types(self):
+        for t in (ty.I32, ty.BOOL, ty.NEVER, ty.INFER,
+                  ty.TyRef(ty.I32, True), ty.TyArray(ty.U8, 2)):
+            assert ty.normalize(t) == t
+
+    def test_is_copy_conservative(self):
+        assert ty.is_copy(ty.I32)
+        assert ty.is_copy(ty.BOOL)
+        assert ty.is_copy(ty.INFER)
+        assert ty.is_copy(ty.NEVER)
+        assert ty.is_copy(ty.TyRef(ty.TyPath("Vec", (ty.I32,)), False))
+        assert ty.is_copy(ty.TyRawPtr(ty.U8, True))
+        assert not ty.is_copy(ty.TyPath("Vec", (ty.I32,)))
+        assert not ty.is_copy(ty.TyPath("Box", (ty.I32,)))
+        assert not ty.is_copy(ty.TyPath("String"))
+        # unknown named types err toward Copy (no false moves)
+        assert ty.is_copy(ty.TyPath("Mystery"))
+
+    def test_is_copy_through_aggregates(self):
+        assert ty.is_copy(ty.TyTuple((ty.I32, ty.BOOL)))
+        assert not ty.is_copy(ty.TyTuple((ty.I32,
+                                          ty.TyPath("Vec", (ty.I32,)))))
+        assert not ty.is_copy(ty.TyArray(ty.TyPath("Box", (ty.U8,)), 2))

@@ -309,6 +309,26 @@ class TestCorpusCommands:
         assert main(["corpus", "validate", str(manifest)]) == 0
         assert "8/8 cases valid" in capsys.readouterr().out
 
+    def test_generate_compile_corpus(self, tmp_path, capsys):
+        out = tmp_path / "gen"
+        code = main(["corpus", "generate", "--n", "4", "--seed", "2",
+                     "--compile", "--out", str(out)])
+        assert code == 0
+        from repro.corpus import load_manifest
+        from repro.miri.errors import UbKind
+        dataset = load_manifest(out / "corpus.json")
+        assert all(case.category is UbKind.COMPILE for case in dataset)
+        assert all(case.expected_code for case in dataset)
+        capsys.readouterr()
+        assert main(["corpus", "validate", str(out / "corpus.json")]) == 0
+
+    def test_compile_excludes_categories(self, tmp_path, capsys):
+        code = main(["corpus", "generate", "--n", "2", "--seed", "1",
+                     "--compile", "--categories", "panic",
+                     "--out", str(tmp_path / "gen")])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
     def test_validate_flags_tampered_label(self, tmp_path, capsys):
         import json
         manifest = self._generate(tmp_path)
@@ -348,3 +368,43 @@ class TestCorpusCommands:
                      "--corpus", str(tmp_path / "missing.json")])
         assert code == 2
         assert "repro:" in capsys.readouterr().err
+
+
+class TestCheck:
+    @pytest.fixture
+    def typo_file(self, tmp_path):
+        path = tmp_path / "typo.rs"
+        path.write_text('fn main() {\n    let count = 4;\n'
+                        '    let total = cuont + 1;\n'
+                        '    println!("{}", total);\n}\n')
+        return str(path)
+
+    def test_clean_file_exit_zero(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_failing_file_exit_one_with_snippet(self, typo_file, capsys):
+        assert main(["check", typo_file]) == 1
+        out = capsys.readouterr().out
+        assert "error[E0425]" in out
+        assert "^" in out
+
+    def test_json_emits_diagnostics_schema(self, typo_file, capsys):
+        import json
+        assert main(["check", typo_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.diagnostics/1"
+        assert payload["diagnostics"][0]["code"] == "E0425"
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["check", "/no/such/file.rs"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_file_without_sweep_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_sweep_reports_all_clean(self, capsys):
+        assert main(["check", "--sweep", "--generated", "4",
+                     "--seed", "11"]) == 0
+        assert "sources check clean" in capsys.readouterr().out

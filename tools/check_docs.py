@@ -166,6 +166,7 @@ _TABLE_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
 
 def _documented_dataclasses() -> dict[str, type]:
     """Class name -> dataclass for every type the reference documents."""
+    from repro.check import Diagnostic
     from repro.engine import results, telemetry, types
 
     classes = {cls.__name__: cls for cls in (
@@ -175,15 +176,18 @@ def _documented_dataclasses() -> dict[str, type]:
         telemetry.CacheQueried, telemetry.RetryAttempted)}
     classes["RepairReport"] = types.RepairReport
     classes["CaseResult"] = results.CaseResult
+    classes["Diagnostic"] = Diagnostic
     return classes
 
 
 def _current_schema_ids() -> list[str]:
+    from repro.check import DIAGNOSTICS_SCHEMA
     from repro.corpus.manifest import MANIFEST_SCHEMA
     from repro.engine.cache import CACHE_SCHEMA
     from repro.miri import FINGERPRINT_VERSION
 
-    ids = [CACHE_SCHEMA, FINGERPRINT_VERSION, MANIFEST_SCHEMA]
+    ids = [CACHE_SCHEMA, DIAGNOSTICS_SCHEMA, FINGERPRINT_VERSION,
+           MANIFEST_SCHEMA]
     # The campaign schema lives in campaign.py's to_dict; the bench
     # schemas in the benchmark scripts.  Read them from the source so the
     # checker cannot drift from a rename.
@@ -196,7 +200,8 @@ def _current_schema_ids() -> list[str]:
     for script in ("benchmarks/perf_smoke.py", "benchmarks/ensemble_smoke.py",
                    "benchmarks/service_smoke.py",
                    "benchmarks/chaos_smoke.py",
-                   "benchmarks/corpus_smoke.py"):
+                   "benchmarks/corpus_smoke.py",
+                   "benchmarks/compile_smoke.py"):
         text = (ROOT / script).read_text(encoding="utf-8")
         ids += re.findall(r'"(repro\.bench_\w+/\d+)"', text)
     return sorted(set(ids))
