@@ -9,7 +9,6 @@ pruning algorithm and the rewrite engine use to address nodes.
 
 from __future__ import annotations
 
-import copy
 import itertools
 from dataclasses import dataclass, field as dc_field
 
@@ -30,11 +29,43 @@ class Node:
 
 
 def clone(node):
-    """Deep-copy an AST (or list of ASTs), assigning fresh node ids."""
-    copied = copy.deepcopy(node)
-    for child in walk(copied) if isinstance(copied, Node) else _walk_many(copied):
-        child.node_id = _next_id()
-    return copied
+    """Deep-copy an AST (or list of ASTs), assigning fresh node ids.
+
+    Hand-rolled rather than :func:`copy.deepcopy`: ASTs are trees of
+    dataclasses whose non-node fields (spans, types, literals) are frozen
+    or scalar, so they are shared instead of copied — the rewrite engine
+    clones on every candidate patch and deepcopy's memo machinery was the
+    single hottest call in a cold campaign.
+    """
+    if isinstance(node, Node):
+        return _clone_node(node)
+    return [_clone_node(item) for item in node]
+
+
+def _clone_node(node):
+    new = object.__new__(type(node))
+    fields = new.__dict__
+    for key, value in node.__dict__.items():
+        if isinstance(value, Node):
+            fields[key] = _clone_node(value)
+        elif type(value) is list:
+            fields[key] = [_clone_child(item) for item in value]
+        elif type(value) is tuple:
+            fields[key] = tuple(_clone_child(item) for item in value)
+        else:
+            fields[key] = value
+    fields["node_id"] = _next_id()
+    return new
+
+
+def _clone_child(item):
+    if isinstance(item, Node):
+        return _clone_node(item)
+    if type(item) is tuple:
+        return tuple(_clone_child(sub) for sub in item)
+    if type(item) is list:
+        return [_clone_child(sub) for sub in item]
+    return item
 
 
 def _walk_many(nodes):
@@ -47,19 +78,31 @@ def walk(node: "Node"):
 
     Handles plain child nodes, lists of nodes, and lists of tuples that
     contain nodes (e.g. ``StructLit.fields`` is ``list[tuple[str, Expr]]``).
+    Iterative with an explicit stack: every rewrite probe, fingerprint, and
+    bytecode compile traverses with this, and nested ``yield from`` frames
+    dominated it.
     """
-    yield node
-    for value in vars(node).values():
-        if isinstance(value, Node):
-            yield from walk(value)
-        elif isinstance(value, (list, tuple)):
-            for item in value:
-                if isinstance(item, Node):
-                    yield from walk(item)
-                elif isinstance(item, tuple):
-                    for sub in item:
-                        if isinstance(sub, Node):
-                            yield from walk(sub)
+    stack = [node]
+    pop = stack.pop
+    while stack:
+        current = pop()
+        yield current
+        children = []
+        append = children.append
+        for value in vars(current).values():
+            if isinstance(value, Node):
+                append(value)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        append(item)
+                    elif isinstance(item, tuple):
+                        for sub in item:
+                            if isinstance(sub, Node):
+                                append(sub)
+        if children:
+            children.reverse()
+            stack.extend(children)
 
 
 # ---------------------------------------------------------------------------

@@ -6,6 +6,11 @@ integer/char/string literals (with type suffixes), the keyword set from
 :mod:`repro.lang.tokens`, line and block comments, and all multi-character
 operators used in real Rust code (``::``, ``->``, ``..=``, shifts, compound
 assignments, ...).
+
+The scanner body is a single loop over local variables rather than
+per-character helper methods: tokenization sits under every parse,
+fingerprint, and bytecode compile, so the campaign cold path is directly
+proportional to this loop.
 """
 
 from __future__ import annotations
@@ -82,6 +87,19 @@ _PUNCT = [
     (">", TokenKind.GT),
 ]
 
+# Length-bucketed views of _PUNCT so the scanner does three dict probes
+# instead of a 47-entry linear scan per operator token.
+_PUNCT3 = {text: kind for text, kind in _PUNCT if len(text) == 3}
+_PUNCT2 = {text: kind for text, kind in _PUNCT if len(text) == 2}
+_PUNCT1 = {text: kind for text, kind in _PUNCT if len(text) == 1}
+
+_HEX_DIGITS = set("_0123456789abcdefABCDEF")
+_IDENT_START = set("_abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+_DIGITS_CONT = _DIGITS | {"_"}
+_WS = set(" \t\r\n")
+
 
 class Lexer:
     """Scans mini-Rust source text into a token list."""
@@ -93,153 +111,175 @@ class Lexer:
         self.col = 1
 
     def tokenize(self) -> list[Token]:
+        source = self.source
+        n = len(source)
+        pos = self.pos
+        line = self.line
+        col = self.col
         tokens: list[Token] = []
+        append = tokens.append
+        ident_cont = _IDENT_CONT
+        digits_cont = _DIGITS_CONT
+
         while True:
-            self._skip_trivia()
-            if self.pos >= len(self.source):
-                tokens.append(self._make(TokenKind.EOF, ""))
-                return tokens
-            tokens.append(self._next_token())
-
-    # ------------------------------------------------------------------
-    # Scanning helpers
-
-    def _peek(self, offset: int = 0) -> str:
-        idx = self.pos + offset
-        return self.source[idx] if idx < len(self.source) else ""
-
-    def _advance(self, count: int = 1) -> str:
-        text = self.source[self.pos : self.pos + count]
-        for ch in text:
-            if ch == "\n":
-                self.line += 1
-                self.col = 1
-            else:
-                self.col += 1
-        self.pos += count
-        return text
-
-    def _make(self, kind: TokenKind, text: str, start: int | None = None,
-              line: int | None = None, col: int | None = None) -> Token:
-        begin = self.pos if start is None else start
-        span = Span(begin, begin + len(text),
-                    self.line if line is None else line,
-                    self.col if col is None else col)
-        return Token(kind, text, span)
-
-    def _skip_trivia(self) -> None:
-        while self.pos < len(self.source):
-            ch = self._peek()
-            if ch in " \t\r\n":
-                self._advance()
-            elif ch == "/" and self._peek(1) == "/":
-                while self.pos < len(self.source) and self._peek() != "\n":
-                    self._advance()
-            elif ch == "/" and self._peek(1) == "*":
-                self._advance(2)
-                depth = 1
-                while self.pos < len(self.source) and depth:
-                    if self._peek() == "/" and self._peek(1) == "*":
-                        depth += 1
-                        self._advance(2)
-                    elif self._peek() == "*" and self._peek(1) == "/":
-                        depth -= 1
-                        self._advance(2)
+            # -- trivia: whitespace, line comments, nested block comments
+            while pos < n:
+                ch = source[pos]
+                if ch in _WS:
+                    if ch == "\n":
+                        line += 1
+                        col = 1
                     else:
-                        self._advance()
-            else:
-                return
-
-    # ------------------------------------------------------------------
-    # Token production
-
-    def _next_token(self) -> Token:
-        start, line, col = self.pos, self.line, self.col
-        ch = self._peek()
-
-        if ch.isdigit():
-            return self._lex_number(start, line, col)
-        if ch.isalpha() or ch == "_":
-            return self._lex_ident(start, line, col)
-        if ch == '"':
-            return self._lex_string(start, line, col)
-        if ch == "'":
-            return self._lex_char_or_lifetime(start, line, col)
-
-        for text, kind in _PUNCT:
-            if self.source.startswith(text, self.pos):
-                self._advance(len(text))
-                return Token(kind, text, Span(start, self.pos, line, col))
-
-        raise LexError(f"unexpected character {ch!r}", line, col)
-
-    def _lex_number(self, start: int, line: int, col: int) -> Token:
-        if self._peek() == "0" and self._peek(1) in ("x", "X"):
-            self._advance(2)
-            while self._peek().isalnum() or self._peek() == "_":
-                if self._peek() not in "_0123456789abcdefABCDEF":
+                        col += 1
+                    pos += 1
+                elif ch == "/" and source.startswith("//", pos):
+                    stop = source.find("\n", pos)
+                    if stop == -1:
+                        stop = n
+                    col += stop - pos
+                    pos = stop
+                elif ch == "/" and source.startswith("/*", pos):
+                    depth = 1
+                    i = pos + 2
+                    while i < n and depth:
+                        if source.startswith("/*", i):
+                            depth += 1
+                            i += 2
+                        elif source.startswith("*/", i):
+                            depth -= 1
+                            i += 2
+                        else:
+                            i += 1
+                    newlines = source.count("\n", pos, i)
+                    if newlines:
+                        line += newlines
+                        col = i - source.rfind("\n", pos, i)
+                    else:
+                        col += i - pos
+                    pos = i
+                else:
                     break
-                self._advance()
-        elif self._peek() == "0" and self._peek(1) in ("b", "B"):
-            self._advance(2)
-            while self._peek() and self._peek() in "01_":
-                self._advance()
-        else:
-            while self._peek().isdigit() or self._peek() == "_":
-                self._advance()
-        # Optional type suffix, e.g. `4usize`, `0xffu8`.
-        for suffix in INT_SUFFIXES:
-            if self.source.startswith(suffix, self.pos):
-                after = self.pos + len(suffix)
-                nxt = self.source[after] if after < len(self.source) else ""
-                if not (nxt.isalnum() or nxt == "_"):
-                    self._advance(len(suffix))
-                    break
-        text = self.source[start : self.pos]
-        return Token(TokenKind.INT, text, Span(start, self.pos, line, col))
 
-    def _lex_ident(self, start: int, line: int, col: int) -> Token:
-        while self._peek().isalnum() or self._peek() == "_":
-            self._advance()
-        text = self.source[start : self.pos]
-        kind = KEYWORDS.get(text, TokenKind.IDENT)
-        return Token(kind, text, Span(start, self.pos, line, col))
+            if pos >= n:
+                append(Token(TokenKind.EOF, "", Span(pos, pos, line, col)))
+                self.pos, self.line, self.col = pos, line, col
+                return tokens
 
-    def _lex_string(self, start: int, line: int, col: int) -> Token:
-        self._advance()  # opening quote
-        while True:
-            ch = self._peek()
-            if not ch:
-                raise LexError("unterminated string literal", line, col)
-            if ch == "\\":
-                self._advance(2)
+            start, tok_line, tok_col = pos, line, col
+            ch = source[pos]
+
+            if ch in _IDENT_START:
+                i = pos + 1
+                while i < n and source[i] in ident_cont:
+                    i += 1
+                text = source[start:i]
+                kind = KEYWORDS.get(text, TokenKind.IDENT)
+                append(Token(kind, text, Span(start, i, tok_line, tok_col)))
+                col += i - start
+                pos = i
                 continue
-            if ch == '"':
-                self._advance()
-                break
-            self._advance()
-        text = self.source[start : self.pos]
-        return Token(TokenKind.STRING, text, Span(start, self.pos, line, col))
 
-    def _lex_char_or_lifetime(self, start: int, line: int, col: int) -> Token:
-        # Either a char literal `'a'` (with escapes) or a lifetime `'static`.
-        self._advance()  # opening quote
-        if self._peek() == "\\":
-            self._advance(2)
-            if self._peek() != "'":
-                raise LexError("unterminated char literal", line, col)
-            self._advance()
-            kind = TokenKind.CHAR
-        elif self._peek(1) == "'":
-            self._advance(2)
-            kind = TokenKind.CHAR
-        else:
-            # Lifetime: consume identifier characters.
-            while self._peek().isalnum() or self._peek() == "_":
-                self._advance()
-            kind = TokenKind.LIFETIME
-        text = self.source[start : self.pos]
-        return Token(kind, text, Span(start, self.pos, line, col))
+            if ch in _DIGITS:
+                if ch == "0" and source.startswith(("0x", "0X"), pos):
+                    i = pos + 2
+                    while i < n and source[i] in _HEX_DIGITS:
+                        i += 1
+                elif ch == "0" and source.startswith(("0b", "0B"), pos):
+                    i = pos + 2
+                    while i < n and source[i] in "01_":
+                        i += 1
+                else:
+                    i = pos + 1
+                    while i < n and source[i] in digits_cont:
+                        i += 1
+                # Optional type suffix, e.g. `4usize`, `0xffu8`.
+                for suffix in INT_SUFFIXES:
+                    if source.startswith(suffix, i):
+                        after = i + len(suffix)
+                        if after >= n or source[after] not in ident_cont:
+                            i = after
+                            break
+                text = source[start:i]
+                append(Token(TokenKind.INT, text,
+                             Span(start, i, tok_line, tok_col)))
+                col += i - start
+                pos = i
+                continue
+
+            if ch == '"':
+                i = pos + 1
+                while True:
+                    if i >= n:
+                        raise LexError("unterminated string literal",
+                                       tok_line, tok_col)
+                    c = source[i]
+                    if c == "\\":
+                        i += 2
+                    elif c == '"':
+                        i += 1
+                        break
+                    else:
+                        i += 1
+                text = source[start:i]
+                append(Token(TokenKind.STRING, text,
+                             Span(start, i, tok_line, tok_col)))
+                newlines = source.count("\n", start, i)
+                if newlines:
+                    line += newlines
+                    col = i - source.rfind("\n", start, i)
+                else:
+                    col += i - start
+                pos = i
+                continue
+
+            if ch == "'":
+                # Either a char literal `'a'` (with escapes) or a lifetime
+                # `'static`.
+                i = pos + 1
+                nxt = source[i] if i < n else ""
+                if nxt == "\\":
+                    i += 2
+                    if i >= n or source[i] != "'":
+                        raise LexError("unterminated char literal",
+                                       tok_line, tok_col)
+                    i += 1
+                    kind = TokenKind.CHAR
+                elif i + 1 < n and source[i + 1] == "'":
+                    i += 2
+                    kind = TokenKind.CHAR
+                else:
+                    while i < n and source[i] in ident_cont:
+                        i += 1
+                    kind = TokenKind.LIFETIME
+                text = source[start:i]
+                append(Token(kind, text, Span(start, i, tok_line, tok_col)))
+                newlines = source.count("\n", start, i)
+                if newlines:
+                    line += newlines
+                    col = i - source.rfind("\n", start, i)
+                else:
+                    col += i - start
+                pos = i
+                continue
+
+            kind = _PUNCT3.get(source[pos:pos + 3])
+            if kind is not None:
+                width = 3
+            else:
+                kind = _PUNCT2.get(source[pos:pos + 2])
+                if kind is not None:
+                    width = 2
+                else:
+                    kind = _PUNCT1.get(ch)
+                    if kind is None:
+                        raise LexError(f"unexpected character {ch!r}",
+                                       line, col)
+                    width = 1
+            i = pos + width
+            append(Token(kind, source[start:i],
+                         Span(start, i, tok_line, tok_col)))
+            col += width
+            pos = i
 
 
 def tokenize(source: str) -> list[Token]:

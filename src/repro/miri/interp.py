@@ -15,6 +15,7 @@ a :class:`CompileError` — exactly what a hallucinated repair that deletes an
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 from ..lang import ast_nodes as ast
@@ -62,6 +63,16 @@ from .values import (
 )
 
 DEFAULT_FUEL = 1_000_000
+
+#: Explicit interpreter call-depth ceiling (user fns, closures, spawned
+#: thread bodies).  The tree-walker and the bytecode VM consume very
+#: different numbers of *Python* frames per interpreted call, so relying
+#: on ``sys.getrecursionlimit()`` would make "stack overflow" fire at
+#: engine-dependent interpreted depths (and step counts).  An explicit
+#: counter raises :class:`RecursionError` at the identical interpreted
+#: depth under both engines; the ceiling is low enough that the
+#: tree-walker hits it before CPython's own limit does.
+MAX_CALL_DEPTH = 56
 
 _UNSAFE_SHIMS = {
     "mem::transmute", "transmute", "mem::zeroed", "zeroed",
@@ -178,16 +189,71 @@ class MutexRecord:
     locked: bool = False
 
 
+#: Execution engines ``run_program`` can route to.
+ENGINES = ("vm", "tree")
+
+#: Process default, overridable per call via ``engine=`` or globally via
+#: :func:`set_default_engine` / the ``REPRO_MIRI_ENGINE`` environment
+#: variable (the escape hatch when triaging a suspected VM divergence).
+DEFAULT_ENGINE = os.environ.get("REPRO_MIRI_ENGINE", "vm")
+if DEFAULT_ENGINE not in ENGINES:  # pragma: no cover - env misconfiguration
+    DEFAULT_ENGINE = "vm"
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous one."""
+    global DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of "
+                         f"{', '.join(ENGINES)})")
+    previous = DEFAULT_ENGINE
+    DEFAULT_ENGINE = engine
+    return previous
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate an ``engine=`` argument, applying the process default."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (expected one of "
+                         f"{', '.join(ENGINES)})")
+    return engine
+
+
 def run_program(program: ast.Program, *, fuel: int = DEFAULT_FUEL,
                 collect: bool = False, max_errors: int = 8,
-                debug: bool = False) -> MiriReport:
-    """Construct-and-run one :class:`Interpreter` over ``program``.
+                debug: bool = False, engine: str | None = None,
+                compiled=None) -> MiriReport:
+    """Construct-and-run one interpreter over ``program``.
 
     The single execution point shared by :func:`repro.miri.detect_ub` and
     :func:`repro.miri.detect_ub_batch` — detector-invocation accounting
     hangs off calls to this function, so batched verification can prove it
     executes strictly fewer interpreters than one-call-per-candidate.
+
+    ``engine`` picks the bytecode VM (``"vm"``, the default) or the
+    tree-walking reference (``"tree"``); reports are byte-identical
+    (gated by ``tests/miri/test_differential.py``).  ``compiled`` passes
+    an already-compiled program so memoized callers skip recompilation;
+    if compilation itself fails (a compiler bug, never a program
+    property) the run falls back to the tree engine rather than
+    misreporting.
     """
+    engine = resolve_engine(engine)
+    if engine == "vm":
+        # Imported lazily: vm/bytecode import this module at load time.
+        from .bytecode import BytecodeError, compile_program
+        from .vm import VM
+        if compiled is None:
+            try:
+                compiled = compile_program(program)
+            except BytecodeError:
+                compiled = None
+        if compiled is not None:
+            vm = VM(compiled, fuel=fuel, collect=collect,
+                    max_errors=max_errors, debug=debug)
+            return vm.run()
     interp = Interpreter(program, fuel=fuel, collect=collect,
                          max_errors=max_errors, debug=debug)
     return interp.run()
@@ -219,6 +285,7 @@ class Interpreter:
         self._next_closure_id = 1
         self._static_mut: set[str] = set()
         self._error_keys: set[tuple[UbKind, int, int]] = set()
+        self._call_depth = 0
 
     # ==================================================================
     # Top level
@@ -297,10 +364,10 @@ class Interpreter:
     def _init_consts_and_statics(self) -> None:
         for item in self.program.items:
             if isinstance(item, ast.ConstItem):
-                value = self.eval_expr(item.init, self.globals, tid=0)
+                value = self._eval_item_init(item)
                 self.consts[item.name] = value
             elif isinstance(item, ast.StaticItem):
-                value = self.eval_expr(item.init, self.globals, tid=0)
+                value = self._eval_item_init(item)
                 static_ty = item.ty or self.type_of_value(value)
                 size = ty.size_of(static_ty, self.memory.structs)
                 align = ty.align_of(static_ty, self.memory.structs)
@@ -314,6 +381,11 @@ class Interpreter:
                                                      item.mutable))
                 if item.mutable:
                     self._static_mut.add(item.name)
+
+    def _eval_item_init(self, item) -> Value:
+        """Evaluate one const/static initializer (the VM overrides this to
+        run the item's compiled init code instead of walking the tree)."""
+        return self.eval_expr(item.init, self.globals, tid=0)
 
     def _check_thread_leaks(self) -> None:
         for record in self.threads.values():
@@ -480,13 +552,21 @@ class Interpreter:
             self.write_place(self._local_place(local), arg, tid, span)
         saved_unsafe = self.unsafe_depth
         self.unsafe_depth = 1 if fn.is_unsafe else 0
+        self._call_depth += 1
         try:
-            result = self.eval_block(fn.body, env, tid)
+            if self._call_depth > MAX_CALL_DEPTH:
+                raise RecursionError("interpreter call depth exceeded")
+            result = self._eval_fn_body(fn, env, tid)
         except _Return as ret:
             result = ret.value
         finally:
+            self._call_depth -= 1
             self.unsafe_depth = saved_unsafe
         return result
+
+    def _eval_fn_body(self, fn: ast.FnItem, env: Env, tid: int) -> Value:
+        """Execute a user function's body block (VM override point)."""
+        return self.eval_block(fn.body, env, tid)
 
     def call_fn_value(self, callee: Value, args: list[Value], tid: int,
                       span: Span) -> Value:
@@ -548,16 +628,31 @@ class Interpreter:
             arg_ty = self.type_of_value(arg)
             local = self._alloc_local(name, arg_ty, True, env)
             self.write_place(self._local_place(local), arg, tid, span)
+        return self._run_closure_body(closure, env, tid)
+
+    def _run_closure_body(self, closure: VClosure, env: Env,
+                          tid: int) -> Value:
+        """Execute a closure body in ``env``: shared unsafe/`return`/depth
+        bookkeeping for direct calls and spawned threads alike."""
         saved_unsafe = self.unsafe_depth
         self.unsafe_depth = 0
+        self._call_depth += 1
         try:
-            if isinstance(closure.body, ast.Block):
-                return self.eval_block(closure.body, env, tid)
-            return self.eval_expr(closure.body, env, tid)
+            if self._call_depth > MAX_CALL_DEPTH:
+                raise RecursionError("interpreter call depth exceeded")
+            return self._eval_closure_body(closure, env, tid)
         except _Return as ret:
             return ret.value
         finally:
+            self._call_depth -= 1
             self.unsafe_depth = saved_unsafe
+
+    def _eval_closure_body(self, closure: VClosure, env: Env,
+                           tid: int) -> Value:
+        """Execute a closure's body expression/block (VM override point)."""
+        if isinstance(closure.body, ast.Block):
+            return self.eval_block(closure.body, env, tid)
+        return self.eval_expr(closure.body, env, tid)
 
     # ==================================================================
     # Threads / sync (called from shims)
@@ -569,17 +664,7 @@ class Interpreter:
         record = ThreadRecord(child_tid)
         self.threads[child_tid] = record
         env = Env(self._capture_env(closure) if closure.is_move else closure.env)
-        saved_unsafe = self.unsafe_depth
-        self.unsafe_depth = 0
-        try:
-            if isinstance(closure.body, ast.Block):
-                record.result = self.eval_block(closure.body, env, child_tid)
-            else:
-                record.result = self.eval_expr(closure.body, env, child_tid)
-        except _Return as ret:
-            record.result = ret.value
-        finally:
-            self.unsafe_depth = saved_unsafe
+        record.result = self._run_closure_body(closure, env, child_tid)
         return VThreadHandle(child_tid)
 
     def _capture_env(self, closure: VClosure) -> Env:
@@ -702,6 +787,13 @@ class Interpreter:
             local = self._alloc_local(stmt.name, declared, stmt.mutable, env)
             return
         value = self.eval_expr(stmt.init, env, tid)
+        self._bind_let(stmt, value, env, tid)
+
+    def _bind_let(self, stmt: ast.LetStmt, value: Value, env: Env,
+                  tid: int) -> None:
+        """Bind an evaluated initializer to a fresh local (shared with the
+        VM's ``LET_BIND`` instruction)."""
+        declared = stmt.ty
         let_ty = declared if declared is not None and not isinstance(
             declared, ty.TyInfer) else self.type_of_value(value)
         let_ty = self._refine_vec_ty(let_ty, value)
@@ -810,20 +902,25 @@ class Interpreter:
     def _place_deref(self, expr: ast.Unary, env: Env, tid: int,
                      for_write: bool) -> VPtr:
         value = self.eval_expr(expr.operand, env, tid)
+        return self._deref_place(value, expr.span, for_write)
+
+    def _deref_place(self, value: Value, span: Span, for_write: bool) -> VPtr:
+        """The place a dereference of ``value`` designates (post-operand
+        core, shared with the VM)."""
         if isinstance(value, VMutexGuard):
             return value.data_ptr
         if isinstance(value, VPtr):
             if not value.is_ref and not value.is_box:
-                self.require_unsafe("dereference of raw pointer", expr.span)
+                self.require_unsafe("dereference of raw pointer", span)
             if for_write and not value.mutable:
                 raise CompileError(
                     "cannot assign through a `*const` pointer or `&` reference",
-                    expr.span,
+                    span,
                 )
             return value
         raise CompileError(
             f"type `{self.type_of_value(value)}` cannot be dereferenced",
-            expr.span,
+            span,
         )
 
     def _autoderef(self, place: VPtr, tid: int, span: Span) -> VPtr:
@@ -853,36 +950,47 @@ class Interpreter:
                      for_write: bool) -> VPtr:
         base = self.eval_place(expr.obj, env, tid)
         base = self._autoderef(base, tid, expr.span)
+        return self._field_place(base, expr.field, expr.span)
+
+    def _field_place(self, base: VPtr, field_name: str, span: Span) -> VPtr:
+        """Project a field out of an already-autoderef'd base place
+        (shared with the VM's ``FIELD_PLACE`` instruction)."""
         base_ty = base.pointee
         if isinstance(base_ty, ty.TyTuple):
-            index = int(expr.field)
+            index = int(field_name)
             if index >= len(base_ty.elems):
                 raise CompileError(
-                    f"no field `{expr.field}` on type `{base_ty}`", expr.span)
+                    f"no field `{field_name}` on type `{base_ty}`", span)
             offsets = self.memory._aggregate_offsets(base_ty, list(base_ty.elems))
             return VPtr(base.alloc_id, base.addr + offsets[index], base.tag,
                         base_ty.elems[index], mutable=base.mutable)
         if isinstance(base_ty, ty.TyPath) and base_ty.name in self.memory.structs:
             layout = self.memory.structs[base_ty.name]
-            if expr.field not in layout.field_names:
+            if field_name not in layout.field_names:
                 raise CompileError(
-                    f"no field `{expr.field}` on type `{base_ty}`", expr.span)
+                    f"no field `{field_name}` on type `{base_ty}`", span)
             if layout.is_union:
                 self.require_unsafe(
-                    f"access to union field `{expr.field}`", expr.span)
-            return VPtr(base.alloc_id, base.addr + layout.offset_of(expr.field),
-                        base.tag, layout.type_of(expr.field),
+                    f"access to union field `{field_name}`", span)
+            return VPtr(base.alloc_id, base.addr + layout.offset_of(field_name),
+                        base.tag, layout.type_of(field_name),
                         mutable=base.mutable)
         raise CompileError(
-            f"no field `{expr.field}` on type `{base_ty}`", expr.span)
+            f"no field `{field_name}` on type `{base_ty}`", span)
 
     def _place_index(self, expr: ast.Index, env: Env, tid: int,
                      for_write: bool) -> VPtr:
         base = self.eval_place(expr.obj, env, tid)
         base = self._autoderef(base, tid, expr.span)
         index_value = self.eval_expr(expr.index, env, tid)
+        return self._index_place(base, index_value, tid, expr.span)
+
+    def _index_place(self, base: VPtr, index_value: Value, tid: int,
+                     span: Span) -> VPtr:
+        """Project an element out of an already-autoderef'd base place
+        (shared with the VM's ``INDEX_PLACE`` instruction)."""
         if not isinstance(index_value, VInt):
-            raise CompileError("slice indices must be integers", expr.span)
+            raise CompileError("slice indices must be integers", span)
         index = index_value.value
         base_ty = base.pointee
         if isinstance(base_ty, ty.TyArray):
@@ -890,7 +998,7 @@ class Interpreter:
                 raise PanicSignal(
                     f"index out of bounds: the len is {base_ty.length} but "
                     f"the index is {index}",
-                    expr.span,
+                    span,
                 )
             elem_size = ty.size_of(base_ty.elem, self.memory.structs)
             return VPtr(base.alloc_id, base.addr + index * elem_size, base.tag,
@@ -901,24 +1009,24 @@ class Interpreter:
                 raise PanicSignal(
                     f"index out of bounds: the len is {length} but the index "
                     f"is {index}",
-                    expr.span,
+                    span,
                 )
             elem_size = ty.size_of(base_ty.elem, self.memory.structs)
             return VPtr(base.alloc_id, base.addr + index * elem_size, base.tag,
                         base_ty.elem, mutable=base.mutable)
         if isinstance(base_ty, ty.TyPath) and base_ty.name == "Vec":
             from .shims import _read_vec
-            elem, data_ptr, cap, length = _read_vec(self, base, tid, expr.span)
+            elem, data_ptr, cap, length = _read_vec(self, base, tid, span)
             if index < 0 or index >= length:
                 raise PanicSignal(
                     f"index out of bounds: the len is {length} but the index "
                     f"is {index}",
-                    expr.span,
+                    span,
                 )
             elem_size = ty.size_of(elem, self.memory.structs)
             return VPtr(data_ptr.alloc_id, data_ptr.addr + index * elem_size,
                         data_ptr.tag, elem, mutable=True)
-        raise CompileError(f"type `{base_ty}` cannot be indexed", expr.span)
+        raise CompileError(f"type `{base_ty}` cannot be indexed", span)
 
     # ==================================================================
     # Expressions
@@ -996,24 +1104,34 @@ class Interpreter:
             return self._make_ref(expr.operand, expr.op == "&mut", env, tid,
                                   expr.span)
         value = self.eval_expr(expr.operand, env, tid)
-        if expr.op == "-":
+        return self._unary_value(expr.op, value, expr.span)
+
+    def _unary_value(self, op: str, value: Value, span: Span) -> Value:
+        """Non-place unary operators on an evaluated operand (shared with
+        the VM's ``UNOP`` instruction)."""
+        if op == "-":
             if isinstance(value, VInt):
                 result = -value.value
                 if not value.ty.in_range(result):
                     raise PanicSignal("attempt to negate with overflow",
-                                      expr.span)
+                                      span)
                 return VInt(result, value.ty)
-            raise CompileError("cannot negate this type", expr.span)
-        if expr.op == "!":
+            raise CompileError("cannot negate this type", span)
+        if op == "!":
             if isinstance(value, VBool):
                 return VBool(not value.value)
             if isinstance(value, VInt):
                 return VInt(value.ty.wrap(~value.value), value.ty)
-        raise InterpUnsupported(f"unary {expr.op}", expr.span)
+        raise InterpUnsupported(f"unary {op}", span)
 
     def _make_ref(self, operand: ast.Expr, mutable: bool, env: Env, tid: int,
                   span: Span) -> Value:
         place = self.eval_place(operand, env, tid, for_write=mutable)
+        return self._ref_from_place(place, mutable, span)
+
+    def _ref_from_place(self, place: VPtr, mutable: bool, span: Span) -> Value:
+        """Retag and build a reference from an evaluated place (shared
+        with the VM's ``REF`` instruction)."""
         alloc = self.memory.allocations.get(place.alloc_id)
         if alloc is None:
             raise UbSignal(MiriError(
@@ -1407,20 +1525,29 @@ class Interpreter:
         if not expr.elems:
             return UNIT_VALUE
         elems = tuple(self.eval_expr(e, env, tid) for e in expr.elems)
+        return self._tuple_value(elems)
+
+    def _tuple_value(self, elems: tuple[Value, ...]) -> Value:
         tuple_ty = ty.TyTuple(tuple(self.type_of_value(e) for e in elems))
         return VAggregate(tuple_ty, elems)
 
     def _eval_ArrayLit(self, expr: ast.ArrayLit, env: Env, tid: int) -> Value:
         elems = tuple(self.eval_expr(e, env, tid) for e in expr.elems)
+        return self._array_value(elems, expr.span)
+
+    def _array_value(self, elems: tuple[Value, ...], span: Span) -> Value:
         if not elems:
             raise InterpUnsupported("empty array literals need annotations",
-                                    expr.span)
+                                    span)
         elem_ty = self.type_of_value(elems[0])
         return VAggregate(ty.TyArray(elem_ty, len(elems)), elems)
 
     def _eval_ArrayRepeat(self, expr: ast.ArrayRepeat, env: Env, tid: int) -> Value:
         elem = self.eval_expr(expr.elem, env, tid)
         count_value = self.eval_expr(expr.count, env, tid)
+        return self._repeat_value(elem, count_value)
+
+    def _repeat_value(self, elem: Value, count_value: Value) -> Value:
         count = count_value.value if isinstance(count_value, VInt) else 0
         elem_ty = self.type_of_value(elem)
         return VAggregate(ty.TyArray(elem_ty, count), tuple([elem] * count))
@@ -1431,37 +1558,48 @@ class Interpreter:
             raise CompileError(f"cannot find struct `{expr.name}`", expr.span)
         provided = {name: self.eval_expr(value, env, tid)
                     for name, value in expr.fields}
+        return self._struct_value(expr.name, provided, expr.span)
+
+    def _struct_value(self, name: str, provided: dict[str, Value],
+                      span: Span) -> Value:
+        """Assemble a struct/union literal from evaluated fields (shared
+        with the VM's ``MAKE_STRUCT`` instruction; the struct's existence
+        was already checked before field evaluation)."""
+        layout = self.memory.structs[name]
         if layout.is_union:
             if len(provided) != 1:
                 raise CompileError(
                     "union literals must initialise exactly one field",
-                    expr.span,
+                    span,
                 )
             field_name, value = next(iter(provided.items()))
             if field_name not in layout.field_names:
                 raise CompileError(
-                    f"no field `{field_name}` on union `{expr.name}`",
-                    expr.span,
+                    f"no field `{field_name}` on union `{name}`",
+                    span,
                 )
-            return VUnionInit(ty.TyPath(expr.name, ()), field_name, value)
+            return VUnionInit(ty.TyPath(name, ()), field_name, value)
         elems = []
         for field_name in layout.field_names:
             if field_name not in provided:
                 raise CompileError(
                     f"missing field `{field_name}` in initializer of "
-                    f"`{expr.name}`",
-                    expr.span,
+                    f"`{name}`",
+                    span,
                 )
             elems.append(provided[field_name])
-        return VAggregate(ty.TyPath(expr.name, ()), tuple(elems))
+        return VAggregate(ty.TyPath(name, ()), tuple(elems))
 
     # --- casts ---------------------------------------------------------------
 
     def _eval_Cast(self, expr: ast.Cast, env: Env, tid: int) -> Value:
-        target = expr.ty
         # `&mut x as *mut T` must retag from the place, not collapse to a ref.
         value = self.eval_expr(expr.expr, env, tid)
-        span = expr.span
+        return self._cast_value(value, expr.ty, expr.span)
+
+    def _cast_value(self, value: Value, target: ty.Ty, span: Span) -> Value:
+        """``as``-cast an evaluated value (shared with the VM's ``CAST``
+        instruction)."""
         if isinstance(target, ty.TyInt):
             if isinstance(value, VInt):
                 return VInt(target.wrap(value.value), target)
@@ -1583,9 +1721,13 @@ class Interpreter:
         hi = self.eval_expr(expr.hi, env, tid) if expr.hi is not None else None
         if hi is None:
             raise InterpUnsupported("unbounded ranges", expr.span)
+        return self._range_value(lo, hi, expr.inclusive, expr.span)
+
+    def _range_value(self, lo: Value, hi: Value, inclusive: bool,
+                     span: Span) -> Value:
         if not isinstance(lo, VInt) or not isinstance(hi, VInt):
-            raise CompileError("range bounds must be integers", expr.span)
-        return VRangeIter(lo.value, hi.value, expr.inclusive)
+            raise CompileError("range bounds must be integers", span)
+        return VRangeIter(lo.value, hi.value, inclusive)
 
     def _eval_ReturnExpr(self, expr: ast.ReturnExpr, env: Env, tid: int) -> Value:
         value = self.eval_expr(expr.value, env, tid) \

@@ -247,9 +247,7 @@ class Memory:
             self.races.on_read(tid, alloc.id, offset, size, span)
         except RaceError as err:
             raise UbSignal(err.error) from None
-        if require_init and any(
-            alloc.init[offset + i] == 0 for i in range(size)
-        ):
+        if require_init and 0 in alloc.init[offset : offset + size]:
             raise UbSignal(MiriError(
                 UbKind.UNINIT,
                 f"using uninitialized data, but this operation requires "
@@ -257,16 +255,20 @@ class Memory:
                 f"of {alloc.label or f'alloc{alloc.id}'})",
                 span,
             ))
-        relocs = {
-            k - offset: r for k, r in alloc.relocations.items()
-            if offset <= k < offset + size
-        }
+        if alloc.relocations:
+            relocs = {
+                k - offset: r for k, r in alloc.relocations.items()
+                if offset <= k < offset + size
+            }
+        else:
+            relocs = {}
         return bytes(alloc.data[offset : offset + size]), relocs
 
     def write_bytes(self, ptr: VPtr, data: bytes,
                     relocs: dict[int, Relocation], align: int, tid: int,
                     span: Span = DUMMY_SPAN) -> None:
-        alloc = self._resolve(ptr, len(data), align, span, "write")
+        size = len(data)
+        alloc = self._resolve(ptr, size, align, span, "write")
         offset = ptr.addr - alloc.base_addr
         if not ptr.mutable and ptr.is_ref:
             raise UbSignal(MiriError(
@@ -277,15 +279,16 @@ class Memory:
         except BorrowError as err:
             raise UbSignal(err.error) from None
         try:
-            self.races.on_write(tid, alloc.id, offset, len(data), span)
+            self.races.on_write(tid, alloc.id, offset, size, span)
         except RaceError as err:
             raise UbSignal(err.error) from None
-        alloc.clear_relocations(offset, len(data))
-        alloc.data[offset : offset + len(data)] = data
-        for i in range(len(data)):
-            alloc.init[offset + i] = 1
-        for rel_offset, reloc in relocs.items():
-            alloc.relocations[offset + rel_offset] = reloc
+        if alloc.relocations:
+            alloc.clear_relocations(offset, size)
+        alloc.data[offset : offset + size] = data
+        alloc.init[offset : offset + size] = b"\x01" * size
+        if relocs:
+            for rel_offset, reloc in relocs.items():
+                alloc.relocations[offset + rel_offset] = reloc
 
     # ------------------------------------------------------------------
     # Value encoding / decoding

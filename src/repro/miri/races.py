@@ -116,6 +116,12 @@ class RaceDetector:
 
     def on_read(self, tid: int, alloc_id: int, offset: int, size: int,
                 span: Span = DUMMY_SPAN) -> None:
+        if self._next_tid == 1:
+            # No thread has ever been spawned: every access so far is on
+            # thread 0, and anything a future child does is ordered after
+            # them by the spawn edge (the child clock inherits the parent's
+            # at spawn time), so neither checks nor history are observable.
+            return
         clock = self.clocks[tid]
         for byte in range(offset, offset + size):
             record = self._record(alloc_id, byte)
@@ -133,6 +139,9 @@ class RaceDetector:
 
     def on_write(self, tid: int, alloc_id: int, offset: int, size: int,
                  span: Span = DUMMY_SPAN) -> None:
+        if self._next_tid == 1:
+            # Same single-threaded fast path as on_read.
+            return
         clock = self.clocks[tid]
         for byte in range(offset, offset + size):
             record = self._record(alloc_id, byte)

@@ -1,0 +1,167 @@
+"""Differential gate: the bytecode VM is byte-identical to the tree-walker.
+
+Every source the project can produce — the five hand-written case modules,
+the compile-error corpus, and 500 seeded generator mutants — runs through
+both engines in both collect modes, and the reports must match byte for
+byte: error kind, message, span, stdout, and the fuel-step counter.  Any
+divergence found here means ``CACHE_EPOCH`` must be bumped; the target is
+that this suite never fires.
+"""
+
+import pytest
+
+from repro.corpus.dataset import load_compile_dataset, load_dataset
+from repro.corpus.generator import generate_sources
+from repro.lang.parser import parse_program
+from repro.miri import DETECTOR_STATS, detect_ub, detect_ub_batch
+from repro.miri.interp import run_program
+from repro.miri.vm import check_divergence, report_signature
+import repro.miri.borrows as borrows
+
+GENERATED_COUNT = 500
+GENERATED_SEED = 12345
+
+MEMORY_HEAVY = """
+fn main() {
+    let mut values = [0i64; 4];
+    let first = &mut values[0];
+    *first = 10;
+    let b = Box::new(77i64);
+    let p = &*b;
+    let x = *p + values[0];
+    let second = &values[1];
+    let y = *second + x;
+    println!("{}", y);
+}
+"""
+
+LOOP_HEAVY = """
+fn main() {
+    let mut total = 0i64;
+    for i in 0..25 {
+        if i % 2 == 0 {
+            total += i;
+        }
+    }
+    while total > 10 {
+        total -= 7;
+    }
+    println!("{}", total);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def corpus_sources():
+    sources = []
+    for case in load_dataset().cases:
+        sources.append(case.source)
+        sources.append(case.fixed_source)
+    for case in load_compile_dataset().cases:
+        sources.append(case.source)
+        sources.append(case.fixed_source)
+    sources.extend(generate_sources(GENERATED_COUNT, GENERATED_SEED))
+    return sources
+
+
+class TestFullCorpusByteIdentity:
+    @pytest.mark.parametrize("collect", [False, True],
+                             ids=["first-ub", "collect"])
+    def test_every_source_matches(self, corpus_sources, collect):
+        divergences = []
+        for index, source in enumerate(corpus_sources):
+            divergence = check_divergence(source, f"corpus[{index}]",
+                                          collect=collect)
+            if divergence is not None:
+                divergences.append(divergence)
+        assert not divergences, "\n\n".join(
+            d.render() for d in divergences[:5])
+
+    def test_exec_metrics_identical(self):
+        tree = detect_ub(LOOP_HEAVY, engine="tree")
+        vm = detect_ub(LOOP_HEAVY, engine="vm")
+        assert tree.steps == vm.steps > 0
+        assert tree.stdout == vm.stdout
+        assert report_signature(tree) == report_signature(vm)
+
+    def test_batch_paths_identical(self, corpus_sources):
+        sample = corpus_sources[:40]
+        tree = detect_ub_batch(sample, engine="tree")
+        vm = detect_ub_batch(sample, engine="vm")
+        assert [report_signature(r) for r in tree] == \
+            [report_signature(r) for r in vm]
+
+
+class TestRunAccounting:
+    def _sources(self, salt):
+        # Unique literals so neither the compile memo nor any fingerprint
+        # state from other tests can absorb a run.
+        return [
+            f"fn main() {{ let x = {salt}i64; println!(\"{{}}\", x); }}",
+            f"fn main() {{ let v: Vec<i64> = Vec::new(); let x = v[{salt}]; }}",
+            f"fn main() {{ let x = {salt}i64; let y = x; println!(\"{{}}\", x + y); }}",
+            f"fn main() {{ let x = {salt}i64; println!(\"{{}}\", x); }}",
+        ]
+
+    def test_identical_accounting_across_engines(self):
+        DETECTOR_STATS.reset()
+        detect_ub_batch(self._sources(9001), engine="tree")
+        tree = DETECTOR_STATS.snapshot()
+        DETECTOR_STATS.reset()
+        detect_ub_batch(self._sources(9002), engine="vm")
+        vm = DETECTOR_STATS.snapshot()
+
+        for key in ("requests", "runs", "fingerprint_hits",
+                    "case_memo_hits"):
+            assert tree[key] == vm[key], key
+        # The engines differ only in the engine-specific counters.
+        assert tree["vm_runs"] == 0 and tree["compiles"] == 0
+        assert vm["vm_runs"] == vm["runs"]
+        assert vm["compiles"] == 3  # unique sources (the 4th is a dupe)
+        DETECTOR_STATS.reset()
+
+
+class TestDivergenceReport:
+    def test_render_prints_both_engines_outcomes(self):
+        # Construct a synthetic divergence (none exist organically) and
+        # check the triage report shows each engine's steps, stdout, and
+        # errors side by side.
+        from repro.miri.vm import Divergence
+        tree = detect_ub(LOOP_HEAVY, engine="tree")
+        vm = detect_ub(
+            "fn main() { let v: Vec<i64> = Vec::new(); let x = v[1]; }",
+            engine="vm")
+        text = Divergence("triage-case", tree, vm).render()
+        assert "engine divergence on triage-case" in text
+        assert f"tree: steps={tree.steps}" in text
+        assert f"vm:   steps={vm.steps}" in text
+        assert repr(tree.stdout) in text and repr(vm.stdout) in text
+        for error in vm.errors:
+            assert error.render() in text
+
+    def test_check_divergence_none_on_agreement(self):
+        assert check_divergence(LOOP_HEAVY, "loop-heavy") is None
+
+
+class TestBorrowTagDeterminism:
+    def test_back_to_back_runs_share_tag_sequences(self, monkeypatch):
+        program = parse_program(MEMORY_HEAVY)
+        real_fresh_tag = borrows.fresh_tag
+        sequences = []
+
+        def recording_fresh_tag():
+            tag = real_fresh_tag()
+            sequences[-1].append(tag)
+            return tag
+
+        monkeypatch.setattr(borrows, "fresh_tag", recording_fresh_tag)
+        reports = []
+        for engine in ("tree", "vm"):
+            for _ in range(2):
+                sequences.append([])
+                reports.append(run_program(program, engine=engine))
+
+        assert sequences[0], "case must exercise borrow tags"
+        assert sequences[0] == sequences[1] == sequences[2] == sequences[3]
+        first = report_signature(reports[0])
+        assert all(report_signature(r) == first for r in reports[1:])
